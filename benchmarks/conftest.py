@@ -1,0 +1,43 @@
+"""Shared benchmark helpers.
+
+Each benchmark regenerates one of the paper's figures at a reduced (but
+representative) duration, prints the measured series next to the paper's
+qualitative expectation, and asserts the shape.  ``pytest-benchmark`` wraps
+the run so regeneration cost is tracked too.
+
+Set ``ATHENA_SCALE`` (e.g. ``ATHENA_SCALE=10``) to multiply every
+experiment duration toward the paper's 20-minute session.
+"""
+
+import os
+
+import pytest
+
+DURATION_SCALE = float(os.environ.get("ATHENA_SCALE", "1"))
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark.
+
+    ``duration_s`` keyword arguments are scaled by ``ATHENA_SCALE``.
+    """
+    if "duration_s" in kwargs and DURATION_SCALE != 1.0:
+        kwargs = {**kwargs, "duration_s": kwargs["duration_s"] * DURATION_SCALE}
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1,
+                              iterations=1)
+
+
+@pytest.fixture
+def once(benchmark):
+    """Fixture: ``once(fn, *args)`` benchmarks a single invocation."""
+
+    def _once(fn, *args, **kwargs):
+        return run_once(benchmark, fn, *args, **kwargs)
+
+    return _once
+
+
+def banner(title, expectation):
+    """Standard header for the printed comparison."""
+    line = "=" * 72
+    return f"\n{line}\n{title}\nPaper expectation: {expectation}\n{line}"

@@ -1,0 +1,37 @@
+"""Extension — GCC across physical-layer contexts (§5.1 future work).
+
+Paper: "we plan to use Athena to further measure [GCC] and work toward a
+GCC simulator that evaluates video-conferencing behavior in various
+physical-layer contexts ... different duplexing strategies ... resulting in
+differing impacts on application-layer latencies."
+"""
+
+from repro.experiments import run_ext_gcc_contexts
+
+from .conftest import banner
+
+
+def test_ext_gcc_contexts(once):
+    result = once(run_ext_gcc_contexts, duration_s=30.0, seed=7)
+    print(banner(
+        "Extension: GCC phantom-overuse rate per PHY context",
+        "sparser uplink slots and higher BLER mislead the gradient filter "
+        "more; FDD is the cleanest",
+    ))
+    print(result.summary())
+
+    by_label = result.by_label()
+    fdd = by_label["FDD, clean channel"]
+    default = by_label["TDD DDDSU, BLER 8%"]
+    sparse = by_label["TDD DDDDDDDDSU (sparser UL)"]
+    lossy = by_label["TDD DDDSU, BLER 25%"]
+    clean = by_label["TDD DDDSU, clean channel"]
+
+    # Duplexing: sparser uplink -> larger artifacts -> more phantom overuse.
+    assert fdd.overuse_fraction < sparse.overuse_fraction
+    assert fdd.gradient_std < sparse.gradient_std
+    assert fdd.owd_p50_ms < default.owd_p50_ms < sparse.owd_p50_ms
+    # Channel quality: heavy HARQ makes it worse than a clean channel.
+    assert lossy.overuse_fraction > clean.overuse_fraction
+    # Every context shows *some* phantom overuse — the paper's core point.
+    assert all(p.overuse_fraction > 0 for p in result.points)

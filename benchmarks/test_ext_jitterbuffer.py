@@ -1,0 +1,27 @@
+"""Extension — the jitter-buffer tradeoff (§2's three VCA options).
+
+Paper: VCAs can "expand the jitter buffer at the cost of increased
+mouth-to-ear delay to better smooth out delay variations" or "accept a
+higher risk of stalls in order to maintain low end-to-end latency".  The
+sweep maps that frontier on a jittery 5G session.
+"""
+
+from repro.experiments import run_ext_jitterbuffer
+
+from .conftest import banner
+
+
+def test_ext_jitterbuffer_tradeoff(once):
+    result = once(run_ext_jitterbuffer, duration_s=40.0, seed=7)
+    print(banner(
+        "Extension: jitter-buffer sizing - delay vs stalls",
+        "bigger buffer -> higher mouth-to-ear delay, fewer stalls",
+    ))
+    print(result.summary())
+
+    delays = [p.mouth_to_ear_ms for p in result.points]
+    assert delays == sorted(delays)  # delay grows with the buffer
+    smallest, largest = result.points[0], result.points[-1]
+    assert smallest.stalls >= largest.stalls  # stalls shrink with the buffer
+    assert smallest.stalls > 0  # a tight buffer does stall on 5G jitter
+    assert largest.mouth_to_ear_ms > 2 * smallest.mouth_to_ear_ms

@@ -1,0 +1,30 @@
+"""Fig 7 — 5G degradation vs an equal-capacity wired network.
+
+Paper: with the wired baseline shaped to the cell's TB-derived capacity
+behind a fixed 15 ms latency, "5G consistently delivers lower quality both
+with respect to bitrate and media-level jitter, as well as user-centric
+metrics such as frame rate and picture quality".
+"""
+
+from repro.experiments import run_fig7
+
+from .conftest import banner
+
+
+def test_fig7_qoe_5g_vs_emulated(once):
+    result = once(run_fig7, duration_s=60.0, seed=7)
+    print(banner(
+        "Fig 7: QoE on 5G vs tc-emulated wired baseline",
+        "5G worse-or-equal on bitrate (7a), jitter (7b), fps (7c), SSIM (7d)",
+    ))
+    print(f"emulated baseline rate: {result.emulated_rate_kbps:.0f} kbps "
+          "(from the 5G run's granted TB capacity)")
+    print(result.summary())
+
+    m5 = result.qoe_5g.medians()
+    me = result.qoe_emulated.medians()
+    assert m5["bitrate_kbps"] <= me["bitrate_kbps"]
+    assert m5["jitter_ms"] > me["jitter_ms"]
+    assert m5["fps"] <= me["fps"]
+    assert m5["ssim"] <= me["ssim"]
+    assert result.qoe_5g.stall_count >= result.qoe_emulated.stall_count

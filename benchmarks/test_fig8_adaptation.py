@@ -1,0 +1,35 @@
+"""Fig 8 — Zoom adaptation: SVC layers, frame rate, and delay.
+
+Paper: Zoom reacts to very high absolute delay (>1 s) by switching the SVC
+layer set and "more permanently" dropping to 14 fps; under high jitter it
+transiently skips frames to ~20 fps.  The low-FPS enhancement layer appears
+only in the 14 fps regime.
+"""
+
+from repro.experiments import run_fig8
+from repro.media import FpsMode
+
+from .conftest import banner
+
+
+def test_fig8_adaptation(once):
+    result = once(run_fig8, duration_s=90.0, seed=7)
+    print(banner(
+        "Fig 8: adaptation time series under a load+fade episode",
+        "delay >1 s -> persistent 14 fps via SVC layer switch; "
+        "transient skip (~21 fps) on the way",
+    ))
+    print(result.summary())
+    layers = result.series.bitrate_kbps_by_layer
+    low_enh = sum(layers.get("low_fps_enh", []))
+    high_enh = sum(layers.get("high_fps_enh", []))
+    print(f"\nlayer activity: high-FPS enh {high_enh:.0f} kbps-s, "
+          f"low-FPS enh {low_enh:.0f} kbps-s")
+
+    assert result.peak_delay_ms() > 1_000
+    assert FpsMode.LOW in result.modes_seen()
+    duration = result.series.window_s[-1]
+    assert result.fps_during(0, duration / 3) > 24
+    assert result.fps_during(duration / 3, duration) < 20
+    # The low-FPS enhancement identifier only appears after the switch.
+    assert low_enh > 0 and high_enh > 0

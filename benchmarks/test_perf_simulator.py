@@ -1,0 +1,39 @@
+"""Simulator performance: these benches use pytest-benchmark's repeated
+rounds (unlike the single-shot figure regenerations) to track the
+engine's event throughput and the RAN slot loop's cost."""
+
+from repro.app import ScenarioConfig, run_session
+from repro.sim import Simulator
+
+
+def test_perf_event_loop(benchmark):
+    """Raw engine throughput: schedule+dispatch 50k chained events."""
+
+    def run():
+        sim = Simulator()
+        count = [0]
+
+        def tick():
+            count[0] += 1
+            if count[0] < 50_000:
+                sim.call_later(10, tick)
+
+        sim.at(0, tick)
+        sim.run()
+        return count[0]
+
+    assert benchmark(run) == 50_000
+
+
+def test_perf_one_second_call(benchmark):
+    """Full-stack cost of one simulated second of a 5G call."""
+
+    def run():
+        result = run_session(
+            ScenarioConfig(duration_s=1.0, seed=5, record_tbs=False,
+                           start_prober=False)
+        )
+        return result.receiver.packets_received
+
+    received = benchmark(run)
+    assert received > 50

@@ -1,0 +1,25 @@
+"""§5.3 — More RAN-aware applications.
+
+Paper: the RAN can export per-packet telemetry (or mask RAN-induced delay in
+congestion-control feedback) so delay-based controllers stop reacting to
+scheduling/HARQ artifacts that carry no congestion information.
+"""
+
+from repro.experiments import run_sec53
+
+from .conftest import banner
+
+
+def test_sec53_ran_aware_cc(once):
+    result = once(run_sec53, duration_s=60.0, seed=7)
+    print(banner(
+        "§5.3: vanilla GCC vs RAN-aware GCC (PHY-delay masking)",
+        "phantom overuse detections largely disappear under masking",
+    ))
+    print(result.summary())
+
+    comparison = result.comparison
+    assert comparison.samples > 5_000
+    assert comparison.vanilla_overuse_count > 10
+    assert comparison.improvement_factor > 1.3
+    assert comparison.masked_overuse_fraction < comparison.vanilla_overuse_fraction

@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""§5 mitigations side by side.
+
+Runs the same call four ways and compares what the application experiences:
+
+1. default RAN, vanilla GCC;
+2. application-aware grant scheduling via RTP metadata (§5.2);
+3. application-aware grant scheduling via learned traffic patterns (§5.2);
+4. RAN-aware GCC — PHY telemetry masks scheduling/HARQ delay before the
+   gradient filter (§5.3).
+
+Usage::
+
+    python examples/mitigation_comparison.py [duration_seconds]
+"""
+
+import sys
+
+import numpy as np
+
+from repro.core import format_table
+from repro.experiments import run_sec52, run_sec53
+
+
+def main() -> None:
+    duration = float(sys.argv[1]) if len(sys.argv) > 1 else 20.0
+
+    print("=== §5.2: application-aware RAN scheduling "
+          f"({duration:.0f} s per variant) ===")
+    sec52 = run_sec52(duration_s=duration, seed=3)
+    print(sec52.summary())
+    rows = []
+    for name in ("aware(metadata)", "aware(learned)"):
+        outcome = sec52.outcomes[name]
+        rows.append([
+            name,
+            f"{sec52.improvement(name):.2f}x",
+            f"{np.median(outcome.frame_spread_ms):.1f} ms",
+        ])
+    print()
+    print(format_table(["variant", "frame-delay improvement",
+                        "median spread"], rows))
+    print("\nPaper: 'Either approach has the potential to cut the delay "
+          "inflation\nexperienced by frames in half.'")
+
+    print("\n=== §5.3: RAN-aware congestion control ===")
+    sec53 = run_sec53(duration_s=duration * 2, seed=3)
+    print(sec53.summary())
+    comparison = sec53.comparison
+    print(f"\nMasking PHY-attributed delay removed "
+          f"{comparison.vanilla_overuse_count - comparison.masked_overuse_count}"
+          f" of {comparison.vanilla_overuse_count} phantom overuse "
+          "detections on an idle cell.")
+    print("Residual detections trace to SFU application-layer jitter — the "
+          "paper's\n'secondary source' — which RAN telemetry rightly cannot "
+          "explain away.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Quickstart: run a Zoom-like call over a simulated 5G cell and let
+Athena explain where the delay comes from.
+
+Usage::
+
+    python examples/quickstart.py [duration_seconds]
+"""
+
+import sys
+
+import numpy as np
+
+from repro.app import ScenarioConfig, run_session
+from repro.core import AthenaSession, distribution_table
+from repro.trace import CapturePoint
+
+
+def main() -> None:
+    duration = float(sys.argv[1]) if len(sys.argv) > 1 else 20.0
+    print(f"Simulating a {duration:.0f} s video call over a private 5G "
+          "standalone cell (TDD DDDSU, proactive + BSR grants, HARQ)...")
+    config = ScenarioConfig(duration_s=duration, seed=42, record_tbs=True)
+    result = run_session(config)
+    athena = AthenaSession(result.trace)
+
+    # Fig 6: the frame structure everything below follows from.
+    print()
+    print(result.ran.tdd.ascii_frame())
+
+    print(f"\n{len(result.trace.packets)} media packets, "
+          f"{len(result.trace.frames)} media units, "
+          f"{len(result.trace.transport_blocks)} transport blocks captured.\n")
+
+    # Fig 3: where does the delay live?
+    print("One-way delay per path segment (Fig 3):")
+    series = athena.owd_timeseries()
+    print(distribution_table(
+        {name: [v for _, v in values] for name, values in series.items()}
+    ))
+
+    # Fig 5: the RAN's delay-spread signature.
+    spreads = athena.delay_spread_cdf(CapturePoint.CORE, stream="video")
+    step, score = athena.spread_quantization()
+    print(f"\nFrame delay spread at the 5G core: median "
+          f"{np.median(spreads):.1f} ms, p95 {np.percentile(spreads, 95):.1f} ms")
+    print(f"Detected spread quantization: {step:.1f} ms steps "
+          f"(lattice score {score:.4f}; 0 = perfect)")
+
+    # §3: root-cause attribution.
+    report = athena.root_causes()
+    print("\nMean uplink delay decomposition per packet (§3):")
+    for component, value in report.mean_component_ms().items():
+        print(f"  {component:>20s}: {value:6.2f} ms")
+    print("\nDominant frame-delay causes:")
+    for cause, count in report.cause_counts.most_common():
+        print(f"  {cause.value:>20s}: {count} media units")
+
+    # Cross-layer correlation accuracy (TBs inferred from timing alone).
+    corr = athena.correlate(ue_id=1)
+    accuracy = corr.accuracy_against_ground_truth(result.trace)
+    print(f"\nTB<->packet correlation (inference vs ground truth): "
+          f"{100 * accuracy:.1f}% exact")
+
+    qoe = athena.qoe()
+    medians = qoe.medians()
+    print(f"\nQoE: {medians['bitrate_kbps']:.0f} kbps received, "
+          f"{medians['fps']:.0f} fps, SSIM {medians['ssim']:.3f}, "
+          f"{qoe.stall_count} stalls")
+
+
+if __name__ == "__main__":
+    main()

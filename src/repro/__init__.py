@@ -1,0 +1,26 @@
+"""Athena reproduction: cross-layer measurement and mitigation for video
+conferencing over 5G (HotNets 2024).
+
+Convenience re-exports of the most used entry points::
+
+    from repro import ScenarioConfig, run_session, AthenaSession
+"""
+
+from .app.session import ScenarioConfig, SessionResult, run_session
+from .core.api import AthenaSession
+from .trace.io import load_trace, save_trace
+from .trace.schema import CapturePoint, Trace
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AthenaSession",
+    "CapturePoint",
+    "ScenarioConfig",
+    "SessionResult",
+    "Trace",
+    "load_trace",
+    "run_session",
+    "save_trace",
+    "__version__",
+]

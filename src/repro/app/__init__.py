@@ -1,0 +1,22 @@
+"""The VCA application: sender, receiver, adaptation, session runner."""
+
+from .adaptation import AdaptationConfig, ZoomAdaptationPolicy
+from .receiver import VcaReceiver
+from .sender import VcaSender
+from .session import (
+    MONITORED_UE_ID,
+    ScenarioConfig,
+    SessionResult,
+    run_session,
+)
+
+__all__ = [
+    "AdaptationConfig",
+    "MONITORED_UE_ID",
+    "ScenarioConfig",
+    "SessionResult",
+    "VcaReceiver",
+    "VcaSender",
+    "ZoomAdaptationPolicy",
+    "run_session",
+]

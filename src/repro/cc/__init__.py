@@ -1,0 +1,41 @@
+"""Congestion control: GCC (delay-gradient), NADA and SCReAM baselines."""
+
+from .base import (
+    BandwidthSignal,
+    CcFeedback,
+    CongestionController,
+    EstimatorHistory,
+    EstimatorSample,
+    PacketArrival,
+    RateControlState,
+)
+from .gcc import (
+    AimdRateController,
+    GccConfig,
+    GccEstimator,
+    LossBasedController,
+    OveruseDetector,
+    TrendlineFilter,
+)
+from .nada import NadaConfig, NadaEstimator
+from .scream import ScreamConfig, ScreamEstimator
+
+__all__ = [
+    "AimdRateController",
+    "BandwidthSignal",
+    "CcFeedback",
+    "CongestionController",
+    "EstimatorHistory",
+    "EstimatorSample",
+    "GccConfig",
+    "GccEstimator",
+    "LossBasedController",
+    "NadaConfig",
+    "NadaEstimator",
+    "OveruseDetector",
+    "PacketArrival",
+    "RateControlState",
+    "ScreamConfig",
+    "ScreamEstimator",
+    "TrendlineFilter",
+]

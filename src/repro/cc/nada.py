@@ -1,0 +1,109 @@
+"""NADA congestion control (Zhu & Pan, RFC 8698), simplified.
+
+NADA aggregates queueing delay, loss, and ECN marks into one composite
+congestion signal ``x(t)`` and updates a reference rate either by
+accelerated ramp-up (no congestion observed) or by the gradual-update rule
+
+    r_ref += delta * kappa * (x_ref - x_offset) / tau^2 * r_max-ish scale
+
+We keep the structure (composite signal, two update regimes) with the RFC's
+default constants, operating on the same :class:`PacketArrival` stream as
+the other controllers.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Optional, Tuple
+
+from ..sim.units import TimeUs, us_to_ms
+from .base import PacketArrival
+
+
+@dataclass
+class NadaConfig:
+    """RFC 8698 default parameters (simplified set)."""
+
+    x_ref_ms: float = 10.0  # reference congestion signal
+    kappa: float = 0.5  # scaling of gradual updates
+    eta: float = 2.0  # ramp-up multiplier bound
+    tau_ms: float = 500.0  # target feedback interval
+    delta_ms: float = 100.0  # update interval
+    loss_penalty_ms: float = 1_000.0  # delay equivalent of a loss
+    min_rate_kbps: float = 50.0
+    max_rate_kbps: float = 2_500.0
+    initial_rate_kbps: float = 600.0
+    queue_epsilon_ms: float = 3.0  # "no congestion" threshold for ramp-up
+
+
+class NadaEstimator:
+    """Receiver-side NADA aggregation plus reference-rate calculation."""
+
+    def __init__(self, config: Optional[NadaConfig] = None) -> None:
+        self.config = config or NadaConfig()
+        self.rate_kbps = self.config.initial_rate_kbps
+        self._base_owd_ms: Optional[float] = None
+        self._owd_window: Deque[Tuple[TimeUs, float]] = deque()
+        self._loss_window: Deque[Tuple[TimeUs, bool]] = deque()
+        self._last_update_us: Optional[TimeUs] = None
+        self.last_signal_ms = 0.0
+
+    def on_packet(self, arrival: PacketArrival) -> None:
+        """Feed one delivered packet."""
+        owd_ms = us_to_ms(arrival.arrival_us - arrival.send_us)
+        if self._base_owd_ms is None or owd_ms < self._base_owd_ms:
+            self._base_owd_ms = owd_ms
+        self._owd_window.append((arrival.arrival_us, owd_ms))
+        self._loss_window.append((arrival.arrival_us, False))
+        self._trim(arrival.arrival_us)
+        if self._last_update_us is None:
+            self._last_update_us = arrival.arrival_us
+            return
+        dt_ms = us_to_ms(arrival.arrival_us - self._last_update_us)
+        if dt_ms >= self.config.delta_ms:
+            self._update_rate(arrival.arrival_us, dt_ms)
+            self._last_update_us = arrival.arrival_us
+
+    def on_loss(self, now_us: TimeUs) -> None:
+        """Record a lost packet."""
+        self._loss_window.append((now_us, True))
+
+    def estimated_rate_kbps(self) -> float:
+        """Current reference rate."""
+        return self.rate_kbps
+
+    # ------------------------------------------------------------------
+    def _trim(self, now_us: TimeUs) -> None:
+        horizon = now_us - 1_500_000  # 1.5 s history
+        while self._owd_window and self._owd_window[0][0] < horizon:
+            self._owd_window.popleft()
+        while self._loss_window and self._loss_window[0][0] < horizon:
+            self._loss_window.popleft()
+
+    def _composite_signal_ms(self) -> float:
+        if not self._owd_window or self._base_owd_ms is None:
+            return 0.0
+        recent = [owd for _, owd in self._owd_window]
+        queue_ms = max(0.0, sum(recent) / len(recent) - self._base_owd_ms)
+        losses = sum(1 for _, lost in self._loss_window if lost)
+        total = max(1, len(self._loss_window))
+        loss_term = self.config.loss_penalty_ms * losses / total
+        return queue_ms + loss_term
+
+    def _update_rate(self, now_us: TimeUs, dt_ms: float) -> None:
+        cfg = self.config
+        x = self._composite_signal_ms()
+        self.last_signal_ms = x
+        if x < cfg.queue_epsilon_ms and not any(l for _, l in self._loss_window):
+            # Accelerated ramp-up: bounded multiplicative growth.
+            gamma = min(0.1, cfg.eta * dt_ms / 1_000.0)
+            self.rate_kbps *= 1.0 + gamma
+        else:
+            # Gradual update toward the rate where x would equal x_ref.
+            x_offset = x - cfg.x_ref_ms
+            self.rate_kbps -= (
+                cfg.kappa * (dt_ms / cfg.tau_ms) * (x_offset / cfg.tau_ms)
+                * self.rate_kbps
+            )
+        self.rate_kbps = min(cfg.max_rate_kbps, max(cfg.min_rate_kbps, self.rate_kbps))

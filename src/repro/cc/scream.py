@@ -1,0 +1,87 @@
+"""SCReAM congestion control (Johansson, RFC 8298), simplified.
+
+SCReAM is a window-based, self-clocked controller for conversational video:
+it maintains a congestion window adjusted against a queueing-delay target
+and converts the window into a media rate.  We reproduce the delay-target
+loop: estimate queueing delay as OWD minus the running base OWD, grow the
+window while under target, and back off proportionally when above.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Optional, Tuple
+
+from ..sim.units import TimeUs, us_to_ms
+from .base import PacketArrival
+
+
+@dataclass
+class ScreamConfig:
+    """Core SCReAM parameters (RFC 8298 defaults, simplified)."""
+
+    queue_delay_target_ms: float = 60.0
+    gain_up: float = 1.0
+    beta: float = 0.8  # back-off factor on sustained over-target delay
+    min_rate_kbps: float = 50.0
+    max_rate_kbps: float = 2_500.0
+    initial_cwnd_bytes: int = 15_000
+    min_cwnd_bytes: int = 3_000
+    assumed_rtt_ms: float = 60.0
+    update_interval_us: TimeUs = 50_000
+
+
+class ScreamEstimator:
+    """Window-based rate estimation from one-way-delay samples."""
+
+    def __init__(self, config: Optional[ScreamConfig] = None) -> None:
+        self.config = config or ScreamConfig()
+        self.cwnd_bytes = float(self.config.initial_cwnd_bytes)
+        self._base_owd_ms: Optional[float] = None
+        self._owd_samples: Deque[Tuple[TimeUs, float]] = deque()
+        self._last_update_us: Optional[TimeUs] = None
+        self._over_target_since_us: Optional[TimeUs] = None
+        self.last_queue_delay_ms = 0.0
+
+    def on_packet(self, arrival: PacketArrival) -> None:
+        """Feed one delivered packet."""
+        owd_ms = us_to_ms(arrival.arrival_us - arrival.send_us)
+        if self._base_owd_ms is None or owd_ms < self._base_owd_ms:
+            self._base_owd_ms = owd_ms
+        self._owd_samples.append((arrival.arrival_us, owd_ms))
+        horizon = arrival.arrival_us - 500_000
+        while self._owd_samples and self._owd_samples[0][0] < horizon:
+            self._owd_samples.popleft()
+        if self._last_update_us is None:
+            self._last_update_us = arrival.arrival_us
+            return
+        if arrival.arrival_us - self._last_update_us >= self.config.update_interval_us:
+            self._update(arrival.arrival_us)
+            self._last_update_us = arrival.arrival_us
+
+    def estimated_rate_kbps(self) -> float:
+        """Media rate implied by the current window and assumed RTT."""
+        rate = self.cwnd_bytes * 8 / (self.config.assumed_rtt_ms / 1_000.0) / 1_000.0
+        return min(self.config.max_rate_kbps, max(self.config.min_rate_kbps, rate))
+
+    # ------------------------------------------------------------------
+    def _update(self, now_us: TimeUs) -> None:
+        cfg = self.config
+        if not self._owd_samples or self._base_owd_ms is None:
+            return
+        recent = [owd for _, owd in self._owd_samples]
+        queue_delay = max(0.0, sum(recent) / len(recent) - self._base_owd_ms)
+        self.last_queue_delay_ms = queue_delay
+        if queue_delay <= cfg.queue_delay_target_ms:
+            self._over_target_since_us = None
+            # Proportional increase, stronger the further below target.
+            headroom = 1.0 - queue_delay / cfg.queue_delay_target_ms
+            self.cwnd_bytes += cfg.gain_up * headroom * 1_500.0
+        else:
+            if self._over_target_since_us is None:
+                self._over_target_since_us = now_us
+            elif now_us - self._over_target_since_us > 100_000:
+                self.cwnd_bytes *= cfg.beta
+                self._over_target_since_us = now_us
+        self.cwnd_bytes = max(float(cfg.min_cwnd_bytes), self.cwnd_bytes)

@@ -1,0 +1,236 @@
+"""Command-line interface: run sessions, analyze traces, regenerate figures.
+
+Examples::
+
+    athena-repro run --duration 20 --out trace.jsonl
+    athena-repro analyze trace.jsonl
+    athena-repro figure fig5
+    athena-repro sweep duplexing
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from .app import ScenarioConfig, run_session
+    from .phy.params import CrossTrafficConfig, CrossTrafficPhase
+    from .trace import save_trace
+
+    cross = None
+    if args.cross_mbps > 0:
+        cross = CrossTrafficConfig(
+            phases=[CrossTrafficPhase(0, args.cross_mbps * 1_000)]
+        )
+    config = ScenarioConfig(
+        duration_s=args.duration,
+        seed=args.seed,
+        access=args.access,
+        cross_traffic=cross,
+        estimator=args.estimator,
+        record_tbs=args.access == "5g",
+        aware_ran=args.aware_ran,
+        mask_ran_delay=args.mask_ran_delay,
+    )
+    print(f"Running {args.duration:.0f} s {args.access} session "
+          f"(seed {args.seed}, estimator {args.estimator}) ...")
+    result = run_session(config)
+    save_trace(result.trace, args.out)
+    qoe = result.qoe().medians()
+    print(f"Wrote {args.out}: {len(result.trace.packets)} packets, "
+          f"{len(result.trace.transport_blocks)} TBs.")
+    print(f"QoE medians: {qoe['bitrate_kbps']:.0f} kbps, "
+          f"{qoe['fps']:.0f} fps, SSIM {qoe['ssim']:.3f}")
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from .core import AthenaSession, athena_report
+
+    athena = AthenaSession.from_file(args.trace, synchronize=args.synchronize)
+    print(athena_report(athena))
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    from . import experiments
+
+    runners: Dict[str, Callable] = {
+        "fig3": lambda: experiments.run_fig3(duration_s=args.duration or 60.0),
+        "fig4": lambda: experiments.run_fig4(duration_s=args.duration or 60.0),
+        "fig5": lambda: experiments.run_fig5(duration_s=args.duration or 40.0),
+        "fig7": lambda: experiments.run_fig7(duration_s=args.duration or 60.0),
+        "fig8": lambda: experiments.run_fig8(duration_s=args.duration or 90.0),
+        "fig9a": lambda: experiments.run_fig9a(duration_s=args.duration or 20.0),
+        "fig9b": lambda: experiments.run_fig9b(duration_s=args.duration or 30.0),
+        "fig10": lambda: experiments.run_fig10(duration_s=args.duration or 60.0),
+        "sec52": lambda: experiments.run_sec52(duration_s=args.duration or 30.0),
+        "sec53": lambda: experiments.run_sec53(duration_s=args.duration or 60.0),
+        "ext-l4s": lambda: experiments.run_ext_l4s(
+            duration_s=args.duration or 30.0),
+        "ext-gcc-contexts": lambda: experiments.run_ext_gcc_contexts(
+            duration_s=args.duration or 30.0),
+        "ext-app-classes": lambda: experiments.run_ext_app_classes(
+            duration_s=args.duration or 30.0),
+        "ext-jitterbuffer": lambda: experiments.run_ext_jitterbuffer(
+            duration_s=args.duration or 40.0),
+    }
+    runner = runners.get(args.id)
+    if runner is None:
+        print(f"unknown figure id {args.id!r}; choose from "
+              f"{', '.join(sorted(runners))}", file=sys.stderr)
+        return 2
+    result = runner()
+    print(result.summary())
+    if args.export:
+        from .experiments import export_figure_data
+
+        written = export_figure_data(result, args.export)
+        for path in written:
+            print(f"wrote {path}")
+    return 0
+
+
+def _cmd_reproduce_all(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from . import experiments
+    from .experiments import export_figure_data
+
+    out_dir = Path(args.out)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    scale = args.scale
+    jobs = [
+        ("fig3", lambda: experiments.run_fig3(duration_s=60.0 * scale)),
+        ("fig4", lambda: experiments.run_fig4(duration_s=60.0 * scale)),
+        ("fig5", lambda: experiments.run_fig5(duration_s=40.0 * scale)),
+        ("fig7", lambda: experiments.run_fig7(duration_s=60.0 * scale)),
+        ("fig8", lambda: experiments.run_fig8(duration_s=90.0 * scale)),
+        ("fig9a", lambda: experiments.run_fig9a(duration_s=20.0 * scale)),
+        ("fig9b", lambda: experiments.run_fig9b(duration_s=30.0 * scale)),
+        ("fig10", lambda: experiments.run_fig10(duration_s=60.0 * scale)),
+        ("sec52", lambda: experiments.run_sec52(duration_s=30.0 * scale)),
+        ("sec53", lambda: experiments.run_sec53(duration_s=60.0 * scale)),
+        ("ext-l4s", lambda: experiments.run_ext_l4s(duration_s=30.0 * scale)),
+        ("ext-gcc-contexts",
+         lambda: experiments.run_ext_gcc_contexts(duration_s=30.0 * scale)),
+        ("ext-app-classes",
+         lambda: experiments.run_ext_app_classes(duration_s=30.0 * scale)),
+        ("ext-jitterbuffer",
+         lambda: experiments.run_ext_jitterbuffer(duration_s=40.0 * scale)),
+    ]
+    report_lines = ["# Athena reproduction report", ""]
+    for name, runner in jobs:
+        print(f"[{name}] running ...")
+        result = runner()
+        summary = result.summary()
+        report_lines += [f"## {name}", "", "```", summary, "```", ""]
+        try:
+            written = export_figure_data(result, out_dir / name)
+            for path in written:
+                print(f"  wrote {path}")
+        except TypeError:
+            pass  # no CSV exporter for this result type
+    report_path = out_dir / "REPORT.md"
+    report_path.write_text("\n".join(report_lines), encoding="utf-8")
+    print(f"\nWrote {report_path}")
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from . import experiments
+
+    sweeps: Dict[str, Callable] = {
+        "proactive": experiments.sweep_proactive,
+        "bsr-delay": experiments.sweep_bsr_delay,
+        "bler": experiments.sweep_bler,
+        "duplexing": experiments.sweep_duplexing,
+        "scheduler-policy": experiments.sweep_scheduler_policy,
+        "rlc-mode": experiments.sweep_rlc_mode,
+    }
+    sweep = sweeps.get(args.name)
+    if sweep is None:
+        print(f"unknown sweep {args.name!r}; choose from "
+              f"{', '.join(sorted(sweeps))}", file=sys.stderr)
+        return 2
+    print(sweep(duration_s=args.duration or 20.0).summary())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="athena-repro",
+        description="Athena (HotNets '24) reproduction: cross-layer "
+        "measurement of video conferencing over simulated 5G.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="simulate a call and save its trace")
+    run.add_argument("--duration", type=float, default=20.0)
+    run.add_argument("--seed", type=int, default=7)
+    run.add_argument("--access", choices=("5g", "emulated"), default="5g")
+    run.add_argument("--estimator", choices=("gcc", "nada", "scream"),
+                     default="gcc")
+    run.add_argument("--cross-mbps", type=float, default=0.0,
+                     help="constant cross-traffic load in Mbps")
+    run.add_argument("--aware-ran", action="store_true",
+                     help="enable §5.2 application-aware scheduling")
+    run.add_argument("--mask-ran-delay", action="store_true",
+                     help="enable §5.3 RAN-aware congestion control")
+    run.add_argument("--out", default="trace.jsonl")
+    run.set_defaults(fn=_cmd_run)
+
+    analyze = sub.add_parser("analyze", help="run Athena over a saved trace")
+    analyze.add_argument("trace")
+    analyze.add_argument("--synchronize", action="store_true",
+                         help="align clocks from recorded sync exchanges "
+                              "before analysis")
+    analyze.set_defaults(fn=_cmd_analyze)
+
+    figure = sub.add_parser("figure", help="regenerate one paper figure")
+    figure.add_argument("id", help="fig3|fig4|fig5|fig7|fig8|fig9a|fig9b|"
+                                   "fig10|sec52|sec53|ext-l4s|"
+                                   "ext-gcc-contexts|ext-app-classes|"
+                                   "ext-jitterbuffer")
+    figure.add_argument("--duration", type=float, default=None)
+    figure.add_argument("--export", default=None, metavar="DIR",
+                        help="write the figure's data series as CSVs")
+    figure.set_defaults(fn=_cmd_figure)
+
+    everything = sub.add_parser(
+        "reproduce-all",
+        help="regenerate every figure, export CSVs, write REPORT.md",
+    )
+    everything.add_argument("--out", default="reproduction")
+    everything.add_argument("--scale", type=float, default=1.0,
+                            help="duration multiplier toward paper scale")
+    everything.set_defaults(fn=_cmd_reproduce_all)
+
+    sweep = sub.add_parser("sweep", help="run a design-choice ablation")
+    sweep.add_argument("name", help="proactive|bsr-delay|bler|duplexing|"
+                                    "scheduler-policy|rlc-mode")
+    sweep.add_argument("--duration", type=float, default=None)
+    sweep.set_defaults(fn=_cmd_sweep)
+    return parser
+
+
+def main(argv=None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    try:
+        return args.fn(args)
+    except BrokenPipeError:
+        # stdout closed early (e.g. piped into head); exit quietly.
+        try:
+            sys.stdout.close()
+        except Exception:
+            pass
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,93 @@
+"""Athena core: time sync, cross-layer correlation, delay root-causing."""
+
+from .api import (
+    AdaptationSeries,
+    AthenaSession,
+    SchedulingTimeline,
+    TimelineEntry,
+)
+from .correlator import (
+    CorrelationResult,
+    FrameCluster,
+    TbPacketMatch,
+    clustering_accuracy,
+    correlate_packets_to_frames,
+    correlate_tbs_to_packets,
+)
+from .delay import (
+    OwdPoint,
+    SpreadSample,
+    delay_spread,
+    detect_quantization,
+    owd_series,
+    probe_owd_series,
+    quantization_score,
+    ran_delay_by_media,
+    summarize_trace_owds,
+)
+from .report import (
+    CDF_HEADERS,
+    athena_report,
+    cdf_row,
+    distribution_table,
+    format_table,
+)
+from .rootcause import (
+    DelayCause,
+    FrameDiagnosis,
+    PacketDelayBreakdown,
+    RootCauseReport,
+    analyze_root_causes,
+    diagnose_frame,
+    packet_breakdown,
+)
+from .sync_pipeline import SyncResult, estimate_host_offsets, synchronize_trace
+from .timesync import (
+    HostClock,
+    ProbeExchange,
+    align_captures,
+    estimate_offset,
+    estimate_offset_and_drift,
+)
+
+__all__ = [
+    "AdaptationSeries",
+    "AthenaSession",
+    "CDF_HEADERS",
+    "CorrelationResult",
+    "DelayCause",
+    "FrameCluster",
+    "FrameDiagnosis",
+    "HostClock",
+    "OwdPoint",
+    "PacketDelayBreakdown",
+    "ProbeExchange",
+    "RootCauseReport",
+    "SchedulingTimeline",
+    "SpreadSample",
+    "SyncResult",
+    "TbPacketMatch",
+    "TimelineEntry",
+    "align_captures",
+    "analyze_root_causes",
+    "athena_report",
+    "cdf_row",
+    "clustering_accuracy",
+    "correlate_packets_to_frames",
+    "correlate_tbs_to_packets",
+    "delay_spread",
+    "detect_quantization",
+    "diagnose_frame",
+    "distribution_table",
+    "estimate_host_offsets",
+    "estimate_offset",
+    "estimate_offset_and_drift",
+    "format_table",
+    "owd_series",
+    "packet_breakdown",
+    "probe_owd_series",
+    "quantization_score",
+    "ran_delay_by_media",
+    "summarize_trace_owds",
+    "synchronize_trace",
+]

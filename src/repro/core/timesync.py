@@ -1,0 +1,118 @@
+"""Clock modelling and time synchronization.
+
+Athena must "precisely time-synchronize" captures taken on different hosts
+(§1, step 2).  The paper NTP-syncs all hosts; residual offset and drift
+still exist, so the framework models each capture host's clock explicitly
+and provides estimators to recover offsets from two-way probe exchanges
+(NTP's algorithm) before correlating captures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from ..sim.units import TimeUs
+
+
+class HostClock:
+    """A host clock with a fixed offset and linear drift from true time.
+
+    ``local = true + offset + drift_ppm * 1e-6 * true``
+    """
+
+    def __init__(self, name: str, offset_us: TimeUs = 0, drift_ppm: float = 0.0) -> None:
+        self.name = name
+        self.offset_us = offset_us
+        self.drift_ppm = drift_ppm
+
+    def timestamp(self, true_us: TimeUs) -> TimeUs:
+        """Local reading of this clock at true time ``true_us``."""
+        return int(true_us + self.offset_us + self.drift_ppm * 1e-6 * true_us)
+
+    def to_true(self, local_us: TimeUs) -> TimeUs:
+        """Invert :meth:`timestamp` — local reading back to true time."""
+        return int((local_us - self.offset_us) / (1.0 + self.drift_ppm * 1e-6))
+
+
+@dataclass
+class ProbeExchange:
+    """One NTP-style two-way exchange between a client and a server.
+
+    Timestamps are *local* readings: ``t1`` client send, ``t2`` server
+    receive, ``t3`` server send, ``t4`` client receive.
+    """
+
+    t1: TimeUs
+    t2: TimeUs
+    t3: TimeUs
+    t4: TimeUs
+
+    def offset_us(self) -> float:
+        """NTP offset estimate of server clock relative to client clock."""
+        return ((self.t2 - self.t1) + (self.t3 - self.t4)) / 2.0
+
+    def rtt_us(self) -> TimeUs:
+        """Round-trip time excluding server processing."""
+        return (self.t4 - self.t1) - (self.t3 - self.t2)
+
+
+def estimate_offset(exchanges: Sequence[ProbeExchange]) -> float:
+    """Estimate clock offset from repeated exchanges.
+
+    Uses the classic minimum-RTT filter: asymmetric queueing delay corrupts
+    the offset estimate, and the exchange with the smallest RTT suffered the
+    least of it.
+    """
+    if not exchanges:
+        raise ValueError("need at least one probe exchange")
+    best = min(exchanges, key=lambda e: e.rtt_us())
+    return best.offset_us()
+
+
+def estimate_offset_and_drift(
+    exchanges: Sequence[ProbeExchange],
+) -> Tuple[float, float]:
+    """Estimate (offset_us at t=0, drift_ppm) by least squares over exchanges.
+
+    Each exchange yields an instantaneous offset estimate at its midpoint;
+    a linear fit of offset vs time recovers drift.  Exchanges with RTT more
+    than 2x the minimum are discarded as congested.
+    """
+    if len(exchanges) < 2:
+        raise ValueError("need at least two probe exchanges for drift")
+    min_rtt = min(e.rtt_us() for e in exchanges)
+    usable = [e for e in exchanges if e.rtt_us() <= 2 * min_rtt]
+    if len(usable) < 2:
+        usable = list(exchanges)
+    times: List[float] = []
+    offsets: List[float] = []
+    for e in usable:
+        times.append((e.t1 + e.t4) / 2.0)
+        offsets.append(e.offset_us())
+    n = len(times)
+    mean_t = sum(times) / n
+    mean_o = sum(offsets) / n
+    denom = sum((t - mean_t) ** 2 for t in times)
+    if denom == 0:
+        return mean_o, 0.0
+    slope = sum((t - mean_t) * (o - mean_o) for t, o in zip(times, offsets)) / denom
+    intercept = mean_o - slope * mean_t
+    return intercept, slope * 1e6
+
+
+def align_captures(
+    captures: dict, reference: str, offsets_us: dict
+) -> dict:
+    """Rewrite a packet's capture timestamps into the reference host's clock.
+
+    ``offsets_us[point]`` is the estimated offset of that capture host's
+    clock relative to the reference (positive = that host's clock is ahead).
+    """
+    aligned = {}
+    for point, local in captures.items():
+        if point == reference:
+            aligned[point] = local
+        else:
+            aligned[point] = int(local - offsets_us.get(point, 0.0))
+    return aligned

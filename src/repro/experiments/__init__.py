@@ -1,0 +1,74 @@
+"""Experiment harness: one module per paper figure plus ablations."""
+
+from .ablations import (
+    AblationResult,
+    sweep_bler,
+    sweep_bsr_delay,
+    sweep_duplexing,
+    sweep_proactive,
+    sweep_rlc_mode,
+    sweep_scheduler_policy,
+)
+from .common import (
+    cross_traffic_scenario,
+    emulated_scenario,
+    idle_cell_scenario,
+    saturating_scenario,
+)
+from .export import export_figure_data
+from .ext_app_classes import ExtAppClassesResult, run_ext_app_classes
+from .ext_gcc_contexts import ExtGccContextsResult, run_ext_gcc_contexts
+from .ext_jitterbuffer import ExtJitterBufferResult, run_ext_jitterbuffer
+from .ext_l4s import ExtL4sResult, run_ext_l4s
+from .fig3_owd import Fig3Result, run_fig3
+from .fig4_audio_video import Fig4Result, run_fig4
+from .fig5_delay_spread import Fig5Result, run_fig5
+from .fig7_qoe import Fig7Result, run_fig7
+from .fig8_adaptation import Fig8Result, run_fig8
+from .fig9_scheduling import Fig9aResult, Fig9bResult, run_fig9a, run_fig9b
+from .fig10_gcc import Fig10Result, run_fig10
+from .sec52_aware_ran import Sec52Result, run_sec52
+from .sec53_ran_aware_cc import Sec53Result, run_sec53
+
+__all__ = [
+    "AblationResult",
+    "ExtAppClassesResult",
+    "ExtGccContextsResult",
+    "ExtJitterBufferResult",
+    "ExtL4sResult",
+    "Fig10Result",
+    "Fig3Result",
+    "Fig4Result",
+    "Fig5Result",
+    "Fig7Result",
+    "Fig8Result",
+    "Fig9aResult",
+    "Fig9bResult",
+    "Sec52Result",
+    "Sec53Result",
+    "cross_traffic_scenario",
+    "emulated_scenario",
+    "export_figure_data",
+    "idle_cell_scenario",
+    "run_ext_app_classes",
+    "run_ext_gcc_contexts",
+    "run_ext_jitterbuffer",
+    "run_ext_l4s",
+    "run_fig10",
+    "run_fig3",
+    "run_fig4",
+    "run_fig5",
+    "run_fig7",
+    "run_fig8",
+    "run_fig9a",
+    "run_fig9b",
+    "run_sec52",
+    "run_sec53",
+    "saturating_scenario",
+    "sweep_bler",
+    "sweep_bsr_delay",
+    "sweep_duplexing",
+    "sweep_proactive",
+    "sweep_rlc_mode",
+    "sweep_scheduler_policy",
+]

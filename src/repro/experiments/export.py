@@ -1,0 +1,261 @@
+"""CSV export of figure data for external plotting.
+
+Each figure result type knows how to dump the exact series the paper
+plots — CDF samples, time series, or sweep tables — as plain CSV files, so
+any plotting tool (gnuplot, pandas/matplotlib, R) can regenerate the
+visuals.  Dispatch is by result type via :func:`functools.singledispatch`.
+"""
+
+from __future__ import annotations
+
+import csv
+from functools import singledispatch
+from pathlib import Path
+from typing import Dict, List, Sequence, Union
+
+from .ablations import AblationResult
+from .ext_app_classes import ExtAppClassesResult
+from .ext_gcc_contexts import ExtGccContextsResult
+from .ext_jitterbuffer import ExtJitterBufferResult
+from .ext_l4s import ExtL4sResult
+from .fig3_owd import Fig3Result
+from .fig4_audio_video import Fig4Result
+from .fig5_delay_spread import Fig5Result
+from .fig7_qoe import Fig7Result
+from .fig8_adaptation import Fig8Result
+from .fig9_scheduling import Fig9aResult, Fig9bResult
+from .fig10_gcc import Fig10Result
+from .sec52_aware_ran import Sec52Result
+from .sec53_ran_aware_cc import Sec53Result
+
+PathLike = Union[str, Path]
+
+
+def _write_csv(path: Path, headers: Sequence[str],
+               rows: Sequence[Sequence[object]]) -> Path:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", encoding="utf-8", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(headers)
+        writer.writerows(rows)
+    return path
+
+
+def _write_cdf(path: Path, name: str, values: Sequence[float]) -> Path:
+    ordered = sorted(values)
+    n = max(1, len(ordered))
+    rows = [(v, (i + 1) / n) for i, v in enumerate(ordered)]
+    return _write_csv(path, [name, "cdf"], rows)
+
+
+@singledispatch
+def export_figure_data(result, directory: PathLike) -> List[Path]:
+    """Write a figure result's plottable series as CSVs under ``directory``."""
+    raise TypeError(f"no CSV exporter registered for {type(result).__name__}")
+
+
+@export_figure_data.register
+def _(result: Fig3Result, directory: PathLike) -> List[Path]:
+    directory = Path(directory)
+    written = []
+    for name, series in result.series.items():
+        written.append(_write_csv(
+            directory / f"fig3_{name}.csv", ["send_time_s", "owd_ms"], series
+        ))
+    return written
+
+
+@export_figure_data.register
+def _(result: Fig4Result, directory: PathLike) -> List[Path]:
+    directory = Path(directory)
+    return [
+        _write_cdf(directory / "fig4_audio.csv", "ran_delay_ms", result.audio_ms),
+        _write_cdf(directory / "fig4_video.csv", "ran_delay_ms", result.video_ms),
+    ]
+
+
+@export_figure_data.register
+def _(result: Fig5Result, directory: PathLike) -> List[Path]:
+    directory = Path(directory)
+    return [
+        _write_cdf(directory / "fig5_sender.csv", "spread_ms", result.sender_ms),
+        _write_cdf(directory / "fig5_core.csv", "spread_ms", result.core_ms),
+    ]
+
+
+@export_figure_data.register
+def _(result: Fig7Result, directory: PathLike) -> List[Path]:
+    directory = Path(directory)
+    written = []
+    panels: Dict[str, Dict[str, Sequence[float]]] = {
+        "fig7a_bitrate_kbps": {
+            "5g": result.qoe_5g.receive_bitrate_kbps,
+            "emulated": result.qoe_emulated.receive_bitrate_kbps,
+        },
+        "fig7b_jitter_ms": {
+            "5g": result.qoe_5g.frame_jitter_ms,
+            "emulated": result.qoe_emulated.frame_jitter_ms,
+        },
+        "fig7c_fps": {
+            "5g": result.qoe_5g.frame_rate_fps,
+            "emulated": result.qoe_emulated.frame_rate_fps,
+        },
+        "fig7d_ssim": {
+            "5g": result.qoe_5g.ssim,
+            "emulated": result.qoe_emulated.ssim,
+        },
+    }
+    for panel, series in panels.items():
+        for access, values in series.items():
+            written.append(_write_cdf(
+                directory / f"{panel}_{access}.csv", panel, values
+            ))
+    return written
+
+
+@export_figure_data.register
+def _(result: Fig8Result, directory: PathLike) -> List[Path]:
+    directory = Path(directory)
+    series = result.series
+    headers = ["time_s", "fps", "delay_p50_ms", "delay_p95_ms"] + sorted(
+        series.bitrate_kbps_by_layer
+    )
+    rows = []
+    for i, t in enumerate(series.window_s):
+        row = [t, series.frame_rate_fps[i], series.delay_ms_p50[i],
+               series.delay_ms_p95[i]]
+        row += [series.bitrate_kbps_by_layer[k][i]
+                for k in sorted(series.bitrate_kbps_by_layer)]
+        rows.append(row)
+    transitions = [(t, mode.value) for t, mode in result.mode_transitions]
+    return [
+        _write_csv(directory / "fig8_timeseries.csv", headers, rows),
+        _write_csv(directory / "fig8_transitions.csv",
+                   ["time_s", "mode"], transitions),
+    ]
+
+
+@export_figure_data.register
+def _(result: Fig9aResult, directory: PathLike) -> List[Path]:
+    return [_export_timeline(result.timeline, Path(directory), "fig9a")]
+
+
+@export_figure_data.register
+def _(result: Fig9bResult, directory: PathLike) -> List[Path]:
+    return [_export_timeline(result.timeline, Path(directory), "fig9b")]
+
+
+def _export_timeline(timeline, directory: Path, prefix: str) -> Path:
+    rows = []
+    for p in timeline.packets:
+        rows.append(["packet", p.packet_id, p.kind.value, p.send_us,
+                     p.core_us if p.core_us is not None else "", "", ""])
+    for tb in timeline.transport_blocks:
+        rows.append(["tb", tb.tb_id, tb.kind.value, tb.slot_us, "",
+                     tb.size_bits, tb.used_bits])
+    return _write_csv(
+        directory / f"{prefix}_timeline.csv",
+        ["record", "id", "kind", "time_us", "core_us", "size_bits",
+         "used_bits"],
+        rows,
+    )
+
+
+@export_figure_data.register
+def _(result: Fig10Result, directory: PathLike) -> List[Path]:
+    rows = [
+        (s.index, s.filtered_gradient, s.modified_trend, s.threshold,
+         s.signal.value)
+        for s in result.history.samples
+    ]
+    return [_write_csv(
+        Path(directory) / "fig10_gradient.csv",
+        ["sample", "filtered_gradient", "modified_trend", "threshold",
+         "signal"],
+        rows,
+    )]
+
+
+@export_figure_data.register
+def _(result: Sec52Result, directory: PathLike) -> List[Path]:
+    written = []
+    for name, outcome in result.outcomes.items():
+        slug = name.replace("(", "_").replace(")", "")
+        written.append(_write_cdf(
+            Path(directory) / f"sec52_{slug}.csv", "frame_delay_ms",
+            outcome.frame_delay_ms,
+        ))
+    return written
+
+
+@export_figure_data.register
+def _(result: Sec53Result, directory: PathLike) -> List[Path]:
+    c = result.comparison
+    rows = [
+        ("vanilla", c.vanilla_overuse_count, c.vanilla_overuse_fraction),
+        ("masked", c.masked_overuse_count, c.masked_overuse_fraction),
+    ]
+    return [_write_csv(
+        Path(directory) / "sec53_overuse.csv",
+        ["variant", "overuse_count", "overuse_fraction"], rows,
+    )]
+
+
+@export_figure_data.register
+def _(result: AblationResult, directory: PathLike) -> List[Path]:
+    rows = [(p.label, p.owd_p50_ms, p.owd_p95_ms, p.spread_p50_ms)
+            for p in result.points]
+    slug = result.name.replace(" ", "_")
+    return [_write_csv(
+        Path(directory) / f"ablation_{slug}.csv",
+        ["config", "owd_p50_ms", "owd_p95_ms", "spread_p50_ms"], rows,
+    )]
+
+
+@export_figure_data.register
+def _(result: ExtGccContextsResult, directory: PathLike) -> List[Path]:
+    rows = [(p.label, p.overuse_fraction, p.gradient_std, p.owd_p50_ms)
+            for p in result.points]
+    return [_write_csv(
+        Path(directory) / "ext_gcc_contexts.csv",
+        ["context", "overuse_fraction", "gradient_std", "owd_p50_ms"], rows,
+    )]
+
+
+@export_figure_data.register
+def _(result: ExtAppClassesResult, directory: PathLike) -> List[Path]:
+    rows = [
+        (c.name, c.owd_p50_ms, c.owd_p95_ms, c.burst_spread_p50_ms,
+         c.alignment_share, c.queueing_share, c.spread_share, c.harq_share)
+        for c in result.classes
+    ]
+    return [_write_csv(
+        Path(directory) / "ext_app_classes.csv",
+        ["class", "owd_p50_ms", "owd_p95_ms", "spread_p50_ms",
+         "align_share", "queue_share", "segment_share", "harq_share"], rows,
+    )]
+
+
+@export_figure_data.register
+def _(result: ExtL4sResult, directory: PathLike) -> List[Path]:
+    rows = [
+        (o.name, o.mark_fraction, o.final_rate_kbps, o.min_rate_kbps)
+        for o in (result.naive, result.aware)
+    ]
+    return [_write_csv(
+        Path(directory) / "ext_l4s.csv",
+        ["marker", "mark_fraction", "final_rate_kbps", "min_rate_kbps"], rows,
+    )]
+
+
+@export_figure_data.register
+def _(result: ExtJitterBufferResult, directory: PathLike) -> List[Path]:
+    rows = [
+        (p.margin_ms, p.beta, p.mouth_to_ear_ms, p.stalls, p.stall_rate)
+        for p in result.points
+    ]
+    return [_write_csv(
+        Path(directory) / "ext_jitterbuffer.csv",
+        ["margin_ms", "beta", "mouth_to_ear_ms", "stalls", "stall_rate"],
+        rows,
+    )]

@@ -1,0 +1,205 @@
+"""Extension — diverse application classes over the same RAN (§5.1).
+
+The paper: "there are more and more diverse applications that exhibit
+various traffic patterns (e.g., short video, video on demand, web browsing,
+interactive applications) ... All underlying networks introduce different
+artifacts that are of varying importance to the different classes of
+applications."
+
+This experiment sends four canonical uplink traffic patterns through the
+same 5G cell and uses Athena to show *which* RAN mechanism dominates each
+class's latency:
+
+* **video conferencing** — periodic multi-packet frames → delay spread;
+* **cloud gaming input** — high-rate tiny packets → TDD alignment;
+* **web browsing** — sporadic small bursts → the SR/BSR grant loop
+  (the ~10 ms first-packet penalty, cf. Tan et al. [38]);
+* **short-video upload** — large periodic bursts → grant queueing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+import numpy as np
+
+from ..core.correlator import correlate_packets_to_frames
+from ..core.report import format_table
+from ..net.topology import CallTopology, RanUplink
+from ..phy.channel import FixedChannel
+from ..phy.params import RanConfig
+from ..phy.ran import RanSimulator
+from ..sim.engine import Simulator
+from ..sim.random import RngStreams
+from ..sim.units import TimeUs, ms, seconds, us_to_ms
+from ..trace.schema import CapturePoint, MediaKind, PacketRecord, new_packet_id
+
+
+@dataclass
+class AppClassStats:
+    """Athena's view of one application class's uplink experience."""
+
+    name: str
+    owd_p50_ms: float
+    owd_p95_ms: float
+    burst_spread_p50_ms: float
+    alignment_share: float  # fraction of RAN delay from TDD alignment
+    queueing_share: float  # ... from grant wait / backlog
+    spread_share: float  # ... from multi-TB segmentation
+    harq_share: float
+
+
+@dataclass
+class ExtAppClassesResult:
+    """The per-class comparison table."""
+
+    classes: List[AppClassStats] = field(default_factory=list)
+
+    def by_name(self) -> Dict[str, AppClassStats]:
+        """Index by application class name."""
+        return {c.name: c for c in self.classes}
+
+    def summary(self) -> str:
+        """Bench-ready table."""
+        rows = [
+            [c.name, c.owd_p50_ms, c.owd_p95_ms, c.burst_spread_p50_ms,
+             f"{100 * c.alignment_share:.0f}%",
+             f"{100 * c.queueing_share:.0f}%",
+             f"{100 * c.spread_share:.0f}%",
+             f"{100 * c.harq_share:.0f}%"]
+            for c in self.classes
+        ]
+        return format_table(
+            ["app class", "OWD p50 (ms)", "p95", "burst spread p50 (ms)",
+             "align", "grant/queue", "segment", "HARQ"],
+            rows,
+        )
+
+
+class _PatternSender:
+    """Drives one synthetic uplink traffic pattern into the topology."""
+
+    def __init__(self, sim: Simulator, topology: CallTopology, rng) -> None:
+        self.sim = sim
+        self.topology = topology
+        self.rng = rng
+
+    def _send(self, size_bytes: int, flow: str) -> None:
+        packet = PacketRecord(
+            packet_id=new_packet_id(), flow_id=flow, kind=MediaKind.VIDEO,
+            size_bytes=size_bytes,
+        )
+        self.topology.send_media(packet)
+
+    def _send_burst(self, total_bytes: int, flow: str,
+                    mtu: int = 1_148, spacing_us: int = 30) -> None:
+        remaining = total_bytes
+        i = 0
+        while remaining > 0:
+            size = min(mtu, remaining)
+            remaining -= size
+            self.sim.call_later(i * spacing_us,
+                                lambda s=size: self._send(s, flow))
+            i += 1
+
+    # The four patterns -------------------------------------------------
+    def start_vca(self) -> None:
+        """28 fps frames of ~4 KB (the paper's workload)."""
+        self.sim.every(35_714, lambda: self._send_burst(
+            max(800, int(self.rng.normal(4_000, 500))), "vca"))
+
+    def start_cloud_gaming(self) -> None:
+        """125 Hz input/state packets of ~100 B."""
+        self.sim.every(8_000, lambda: self._send(100, "gaming"))
+
+    def start_web_browsing(self) -> None:
+        """Sporadic request bursts: 2-6 packets of ~600 B every few seconds."""
+
+        def click() -> None:
+            n = int(self.rng.integers(2, 7))
+            for i in range(n):
+                self.sim.call_later(i * 200, lambda: self._send(600, "web"))
+            self.sim.call_later(
+                int(self.rng.exponential(seconds(3.0))) + ms(500.0), click
+            )
+
+        self.sim.call_later(ms(100.0), click)
+
+    def start_short_video_upload(self) -> None:
+        """A ~300 KB clip upload every 8 s, paced at 6 Mbps."""
+
+        def upload() -> None:
+            total = 300_000
+            mtu = 1_400
+            pace_us = int(mtu * 8 / 6_000_000 * 1e6)  # 6 Mbps pacing
+            for i in range(total // mtu):
+                self.sim.call_later(i * pace_us,
+                                    lambda: self._send(mtu, "upload"))
+
+        self.sim.every(seconds(8.0), upload, start_us=ms(500.0))
+
+
+def _run_pattern(name: str, starter: str, duration_s: float, seed: int
+                 ) -> AppClassStats:
+    sim = Simulator()
+    rngs = RngStreams(seed)
+    config = RanConfig()
+    ran = RanSimulator(sim, config, rngs)
+    ran.add_ue(1, channel=FixedChannel(config.default_mcs, config.base_bler))
+    topology = CallTopology(sim, RanUplink(ran, 1), rng=rngs.stream("path"))
+    sender = _PatternSender(sim, topology, rngs.stream("pattern"))
+    getattr(sender, starter)()
+    sim.run_until(seconds(duration_s))
+
+    trace = topology.trace
+    owds = []
+    shares = {"align": 0.0, "queue": 0.0, "spread": 0.0, "harq": 0.0}
+    for p in trace.packets:
+        d = p.one_way_delay_us(CapturePoint.SENDER, CapturePoint.CORE)
+        if d is None or p.ran is None:
+            continue
+        owds.append(us_to_ms(d))
+        shares["align"] += p.ran.sched_wait_us
+        shares["queue"] += p.ran.queue_wait_us
+        shares["spread"] += p.ran.spread_wait_us
+        shares["harq"] += p.ran.harq_delay_us
+    total_ran = sum(shares.values()) or 1.0
+
+    clusters = correlate_packets_to_frames(trace, use_rtp=False)
+    index = trace.packet_index()
+    spreads = []
+    for cluster in clusters.values():
+        cores = [
+            t for pid in cluster.packet_ids
+            if (t := index[pid].capture_at(CapturePoint.CORE)) is not None
+        ]
+        if cores:
+            spreads.append(us_to_ms(max(cores) - min(cores)))
+
+    return AppClassStats(
+        name=name,
+        owd_p50_ms=float(np.median(owds)) if owds else float("nan"),
+        owd_p95_ms=float(np.percentile(owds, 95)) if owds else float("nan"),
+        burst_spread_p50_ms=float(np.median(spreads)) if spreads else float("nan"),
+        alignment_share=shares["align"] / total_ran,
+        queueing_share=shares["queue"] / total_ran,
+        spread_share=shares["spread"] / total_ran,
+        harq_share=shares["harq"] / total_ran,
+    )
+
+
+def run_ext_app_classes(
+    duration_s: float = 30.0, seed: int = 7
+) -> ExtAppClassesResult:
+    """Compare how the RAN's artifacts hit four application classes."""
+    patterns = [
+        ("video conferencing", "start_vca"),
+        ("cloud gaming input", "start_cloud_gaming"),
+        ("web browsing", "start_web_browsing"),
+        ("short-video upload", "start_short_video_upload"),
+    ]
+    result = ExtAppClassesResult()
+    for name, starter in patterns:
+        result.classes.append(_run_pattern(name, starter, duration_s, seed))
+    return result

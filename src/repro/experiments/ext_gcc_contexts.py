@@ -1,0 +1,112 @@
+"""Extension — GCC across physical-layer contexts (§5.1 future work).
+
+The paper plans "a GCC simulator that evaluates video-conferencing behavior
+in various physical-layer contexts.  For example, ... different base
+stations use different duplexing strategies ... resulting in differing
+impacts on application-layer latencies."
+
+This experiment runs the same idle-cell call under different duplexing and
+channel configurations and measures how badly each misleads the delay-
+gradient detector: phantom-overuse fraction and gradient volatility.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+import numpy as np
+
+from ..app.session import run_session
+from ..cc.base import PacketArrival
+from ..cc.gcc import GccConfig, GccEstimator
+from ..core.report import format_table
+from ..phy.params import RanConfig
+from ..trace.schema import CapturePoint
+from .common import idle_cell_scenario
+
+
+@dataclass
+class ContextPoint:
+    """GCC's behaviour under one PHY configuration."""
+
+    label: str
+    overuse_fraction: float
+    gradient_std: float
+    owd_p50_ms: float
+
+
+@dataclass
+class ExtGccContextsResult:
+    """The §5.1 matrix: PHY context -> CC misbehaviour."""
+
+    points: List[ContextPoint] = field(default_factory=list)
+
+    def by_label(self) -> Dict[str, ContextPoint]:
+        """Index the matrix by configuration label."""
+        return {p.label: p for p in self.points}
+
+    def summary(self) -> str:
+        """Bench-ready table."""
+        rows = [
+            [p.label, f"{100 * p.overuse_fraction:.2f}%",
+             round(p.gradient_std, 4), p.owd_p50_ms]
+            for p in self.points
+        ]
+        return format_table(
+            ["PHY context", "phantom overuse", "gradient std",
+             "uplink OWD p50 (ms)"],
+            rows,
+        )
+
+
+def _gcc_on_trace(trace) -> GccEstimator:
+    estimator = GccEstimator(GccConfig(burst_time_us=0))
+    arrivals = []
+    for p in trace.packets:
+        send = p.capture_at(CapturePoint.SENDER)
+        arrival = p.capture_at(CapturePoint.RECEIVER)
+        if send is None or arrival is None:
+            continue
+        arrivals.append(PacketArrival(p.packet_id, send, arrival, p.size_bytes))
+    for a in sorted(arrivals, key=lambda x: x.arrival_us):
+        estimator.on_packet(a)
+    return estimator
+
+
+def run_ext_gcc_contexts(
+    duration_s: float = 30.0, seed: int = 7
+) -> ExtGccContextsResult:
+    """Measure GCC's phantom-overuse rate per PHY configuration."""
+    contexts: Dict[str, RanConfig] = {
+        "TDD DDDSU, BLER 8%": RanConfig(),
+        "TDD DDDSU, clean channel": RanConfig(base_bler=0.0, retx_bler=0.0),
+        "TDD DDSUU (denser UL)": RanConfig(tdd_pattern="DDSUU"),
+        "TDD DDDDDDDDSU (sparser UL)": RanConfig(tdd_pattern="DDDDDDDDSU"),
+        "FDD, clean channel": RanConfig(fdd=True, base_bler=0.0,
+                                        retx_bler=0.0),
+        "TDD DDDSU, BLER 25%": RanConfig(base_bler=0.25, retx_bler=0.25),
+    }
+    result = ExtGccContextsResult()
+    for label, ran in contexts.items():
+        session = run_session(
+            idle_cell_scenario(duration_s=duration_s, seed=seed, ran=ran,
+                               record_tbs=False)
+        )
+        estimator = _gcc_on_trace(session.trace)
+        grads = [s.filtered_gradient for s in estimator.history.samples]
+        owds = [
+            d / 1_000
+            for p in session.trace.packets
+            if (d := p.one_way_delay_us(CapturePoint.SENDER,
+                                        CapturePoint.CORE)) is not None
+        ]
+        result.points.append(
+            ContextPoint(
+                label=label,
+                overuse_fraction=estimator.history.overuse_fraction(),
+                gradient_std=float(np.std(grads)) if grads else float("nan"),
+                owd_p50_ms=float(np.median(owds)) if owds else float("nan"),
+            )
+        )
+    return result

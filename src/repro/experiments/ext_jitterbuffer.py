@@ -1,0 +1,89 @@
+"""Extension — the jitter-buffer tradeoff (§2's three VCA options).
+
+"When the network cannot provide [stable low latency], VCAs are left with
+three options": reduce the sending rate, expand the jitter buffer at the
+cost of mouth-to-ear delay, or accept a higher risk of stalls.  This
+experiment sweeps the receiver's playout margin over the same jittery 5G
+session and maps out the delay-vs-stall frontier the paper alludes to.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+import numpy as np
+
+from ..app.session import run_session
+from ..core.report import format_table
+from .common import cross_traffic_scenario
+
+
+@dataclass
+class BufferPoint:
+    """Outcome of one jitter-buffer sizing."""
+
+    margin_ms: float
+    beta: float
+    mouth_to_ear_ms: float  # median capture -> render delay
+    stalls: int
+    frames_rendered: int
+
+    @property
+    def stall_rate(self) -> float:
+        """Stalls per rendered frame."""
+        if self.frames_rendered == 0:
+            return float("nan")
+        return self.stalls / self.frames_rendered
+
+
+@dataclass
+class ExtJitterBufferResult:
+    """The delay-vs-stall frontier."""
+
+    points: List[BufferPoint] = field(default_factory=list)
+
+    def summary(self) -> str:
+        """Bench-ready table."""
+        rows = [
+            [f"{p.margin_ms:.0f} ms / beta {p.beta:.0f}",
+             p.mouth_to_ear_ms, p.stalls, f"{100 * p.stall_rate:.2f}%"]
+            for p in self.points
+        ]
+        return format_table(
+            ["buffer sizing", "mouth-to-ear p50 (ms)", "stalls",
+             "stall rate"],
+            rows,
+        )
+
+
+def run_ext_jitterbuffer(
+    duration_s: float = 40.0,
+    seed: int = 7,
+    sizings: Sequence = ((2.0, 1.0), (10.0, 4.0), (40.0, 8.0), (120.0, 12.0)),
+) -> ExtJitterBufferResult:
+    """Sweep the playout margin over the same jittery 5G session."""
+    result = ExtJitterBufferResult()
+    for margin_ms, beta in sizings:
+        config = cross_traffic_scenario(
+            duration_s=duration_s,
+            seed=seed,
+            phase_rates_mbps=(10.0, 18.0),
+            record_tbs=False,
+            jitter_buffer_margin_ms=margin_ms,
+            jitter_buffer_beta=beta,
+        )
+        session = run_session(config)
+        video = [f for f in session.trace.frames
+                 if f.stream == "video" and f.rendered_us is not None]
+        delays = [(f.rendered_us - f.capture_us) / 1_000.0 for f in video]
+        result.points.append(
+            BufferPoint(
+                margin_ms=margin_ms,
+                beta=beta,
+                mouth_to_ear_ms=float(np.median(delays)) if delays else float("nan"),
+                stalls=session.receiver.jitter_buffer.stalls,
+                frames_rendered=len(video),
+            )
+        )
+    return result

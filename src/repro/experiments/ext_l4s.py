@@ -1,0 +1,121 @@
+"""Extension — L4S-style explicit signalling under RAN artifacts (§5.3).
+
+The paper closes with an open question: "how should control of the
+accelerate-brake signal be defined in the presence of retransmissions due
+to (unpredictable) loss versus the more predictable delay spikes and
+spreads that we observe with Athena?"
+
+This experiment quantifies the problem and the telemetry-informed answer:
+a naive L4S marker that CE-marks on uplink sojourn time brakes the sender
+on *idle-network* scheduling/HARQ artifacts, while a marker that excludes
+the PHY-attributed components (using the same telemetry as §5.3) only
+signals genuine queue build-up.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ..app.session import run_session
+from ..core.report import format_table
+from ..mitigation.l4s import EcnMarker, L4sRateController, sojourn_of
+from ..sim.units import TimeUs, ms
+from ..trace.schema import CapturePoint
+from .common import idle_cell_scenario
+
+
+@dataclass
+class L4sOutcome:
+    """One marker variant's effect on the sender."""
+
+    name: str
+    mark_fraction: float
+    final_rate_kbps: float
+    min_rate_kbps: float
+
+
+@dataclass
+class ExtL4sResult:
+    """Naive vs RAN-aware CE marking on the same idle-cell trace."""
+
+    naive: L4sOutcome
+    aware: L4sOutcome
+
+    def summary(self) -> str:
+        """Bench-ready comparison table."""
+        rows = [
+            [o.name, f"{100 * o.mark_fraction:.1f}%", o.final_rate_kbps,
+             o.min_rate_kbps]
+            for o in (self.naive, self.aware)
+        ]
+        return format_table(
+            ["marker", "CE-mark fraction", "final rate kbps", "min rate kbps"],
+            rows,
+        )
+
+
+def _drive_controller(
+    marked_flags: List[Tuple[TimeUs, bool]],
+    update_interval_us: TimeUs = ms(100.0),
+) -> L4sRateController:
+    controller = L4sRateController(initial_rate_kbps=900.0)
+    next_update = update_interval_us
+    for arrival, ce in sorted(marked_flags):
+        while arrival >= next_update:
+            controller.update_rate()
+            next_update += update_interval_us
+        controller.on_packet_feedback(ce)
+    controller.update_rate()
+    return controller
+
+
+def run_ext_l4s(
+    duration_s: float = 30.0, seed: int = 7, threshold_ms: float = 5.0
+) -> ExtL4sResult:
+    """Compare naive vs telemetry-aware CE marking on an idle cell."""
+    config = idle_cell_scenario(duration_s=duration_s, seed=seed,
+                                fixed_bitrate_kbps=900.0, record_tbs=False)
+    result = run_session(config)
+
+    naive_marker = EcnMarker(threshold_us=ms(threshold_ms))
+    aware_marker = EcnMarker(threshold_us=ms(threshold_ms),
+                             exclude_ran_artifacts=True)
+    naive_flags: List[Tuple[TimeUs, bool]] = []
+    aware_flags: List[Tuple[TimeUs, bool]] = []
+    for packet in result.trace.packets:
+        arrival = packet.capture_at(CapturePoint.CORE)
+        if arrival is None or packet.ran is None:
+            continue
+        sojourn = sojourn_of(packet)
+        naive_flags.append((arrival, naive_marker.mark(packet, sojourn)))
+        aware_flags.append((arrival, aware_marker.mark(packet, sojourn)))
+
+    naive_ctl = _drive_controller(naive_flags)
+    aware_ctl = _drive_controller(aware_flags)
+
+    def min_rate(flags) -> float:
+        controller = L4sRateController(initial_rate_kbps=900.0)
+        lowest = controller.rate_kbps
+        next_update = ms(100.0)
+        for arrival, ce in sorted(flags):
+            while arrival >= next_update:
+                lowest = min(lowest, controller.update_rate())
+                next_update += ms(100.0)
+            controller.on_packet_feedback(ce)
+        return lowest
+
+    return ExtL4sResult(
+        naive=L4sOutcome(
+            name="naive (sojourn only)",
+            mark_fraction=naive_marker.mark_fraction,
+            final_rate_kbps=naive_ctl.rate_kbps,
+            min_rate_kbps=min_rate(naive_flags),
+        ),
+        aware=L4sOutcome(
+            name="RAN-aware (artifacts excluded)",
+            mark_fraction=aware_marker.mark_fraction,
+            final_rate_kbps=aware_ctl.rate_kbps,
+            min_rate_kbps=min_rate(aware_flags),
+        ),
+    )

@@ -1,0 +1,74 @@
+"""Application-layer media stack: codec, SVC, audio, RTP, jitter buffer, QoE."""
+
+from .audio import AudioSample, AudioSource
+from .codec import EncodedFrame, VideoEncoder
+from .jitter import SCREEN_SAMPLE_US, AdaptiveJitterBuffer
+from .quality import (
+    QoeSummary,
+    cdf,
+    frame_level_jitter_ms,
+    frame_rate_series,
+    percentile,
+    qoe_summary,
+    ssim_from_bpp,
+    ssim_values,
+    windowed_receive_bitrate_kbps,
+)
+from .screen import (
+    CAPTURE_PERIOD_US,
+    CAPTURE_RATE_HZ,
+    ScreenObservation,
+    ScreenSample,
+    capture_screen,
+)
+from .rtp import (
+    DEFAULT_MTU_PAYLOAD,
+    FrameAssembly,
+    FrameReassembler,
+    RtpPacketizer,
+)
+from .svc import (
+    CAPTURE_SLOT_US,
+    FULL_RATE_FPS,
+    FpsMode,
+    SvcLayer,
+    frame_period_us,
+    layer_for_slot,
+    layers_active,
+    nominal_fps,
+)
+
+__all__ = [
+    "AdaptiveJitterBuffer",
+    "AudioSample",
+    "AudioSource",
+    "CAPTURE_PERIOD_US",
+    "CAPTURE_RATE_HZ",
+    "CAPTURE_SLOT_US",
+    "DEFAULT_MTU_PAYLOAD",
+    "EncodedFrame",
+    "FULL_RATE_FPS",
+    "FpsMode",
+    "FrameAssembly",
+    "FrameReassembler",
+    "QoeSummary",
+    "RtpPacketizer",
+    "ScreenObservation",
+    "ScreenSample",
+    "SCREEN_SAMPLE_US",
+    "SvcLayer",
+    "VideoEncoder",
+    "capture_screen",
+    "cdf",
+    "frame_level_jitter_ms",
+    "frame_period_us",
+    "frame_rate_series",
+    "layer_for_slot",
+    "layers_active",
+    "nominal_fps",
+    "percentile",
+    "qoe_summary",
+    "ssim_from_bpp",
+    "ssim_values",
+    "windowed_receive_bitrate_kbps",
+]

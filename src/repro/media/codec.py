@@ -1,0 +1,91 @@
+"""Video encoder model: P-frame sizes and per-frame picture quality.
+
+VCAs transmit nearly all video as P-frames whose sizes rarely change much
+(§5.2), so the encoder model draws frame sizes around ``bitrate / fps``
+with modest lognormal variation and occasional scene-change spikes.  The
+per-frame SSIM follows the rate-distortion model in
+:mod:`repro.media.quality`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .quality import ssim_from_bpp
+from .svc import SvcLayer
+
+
+@dataclass
+class EncodedFrame:
+    """Output of encoding one capture slot."""
+
+    size_bytes: int
+    ssim: float
+    layer: SvcLayer
+
+
+class VideoEncoder:
+    """Rate-controlled P-frame encoder model.
+
+    The target bitrate is set by congestion control through
+    :meth:`set_target_bitrate`; the effective frame rate (for the per-frame
+    bit budget) by the adaptation policy through :meth:`set_frame_rate`.
+    """
+
+    def __init__(
+        self,
+        rng: np.random.Generator,
+        resolution_pixels: int = 640 * 360,
+        min_bitrate_kbps: float = 80.0,
+        max_bitrate_kbps: float = 1_500.0,
+        size_sigma: float = 0.12,
+        scene_change_prob: float = 0.004,
+        scene_change_scale: float = 2.5,
+    ) -> None:
+        if resolution_pixels <= 0:
+            raise ValueError("resolution must be positive")
+        self._rng = rng
+        self.resolution_pixels = resolution_pixels
+        self.min_bitrate_kbps = min_bitrate_kbps
+        self.max_bitrate_kbps = max_bitrate_kbps
+        self.size_sigma = size_sigma
+        self.scene_change_prob = scene_change_prob
+        self.scene_change_scale = scene_change_scale
+        self._target_kbps = 600.0
+        self._fps = 28.0
+        self.frames_encoded = 0
+        self.bytes_encoded = 0
+
+    @property
+    def target_bitrate_kbps(self) -> float:
+        """Current encoder rate target."""
+        return self._target_kbps
+
+    def set_target_bitrate(self, kbps: float) -> None:
+        """Clamp and apply a congestion-control rate decision."""
+        self._target_kbps = float(
+            min(self.max_bitrate_kbps, max(self.min_bitrate_kbps, kbps))
+        )
+
+    def set_frame_rate(self, fps: float) -> None:
+        """Tell the rate controller how many frames share the bit budget."""
+        if fps <= 0:
+            raise ValueError(f"fps must be positive: {fps}")
+        self._fps = float(fps)
+
+    def encode(self, layer: SvcLayer) -> EncodedFrame:
+        """Encode one frame at the current rate operating point."""
+        mean_bytes = self._target_kbps * 1_000 / 8 / self._fps
+        size = mean_bytes * self._rng.lognormal(0.0, self.size_sigma)
+        if self._rng.random() < self.scene_change_prob:
+            size *= self.scene_change_scale
+        size_bytes = max(200, int(size))
+        bpp = size_bytes * 8 / self.resolution_pixels
+        noise = float(self._rng.normal(0.0, 0.004))
+        self.frames_encoded += 1
+        self.bytes_encoded += size_bytes
+        return EncodedFrame(
+            size_bytes=size_bytes, ssim=ssim_from_bpp(bpp, noise), layer=layer
+        )

@@ -1,0 +1,173 @@
+"""Picture-quality model and QoE metric computation.
+
+The paper measures SSIM by comparing each received frame against the
+corresponding sent frame (QR-code identified).  Received quality is then a
+function of how many bits the encoder spent on the frame — we model the
+canonical saturating rate-distortion relationship
+
+    SSIM(bpp) = ssim_max - span * exp(-k * bpp)
+
+calibrated so that the paper's operating range (roughly 300–1200 kbps at
+360p) lands in Fig 7d's observed 0.80–0.88 band.  The QoE aggregation
+functions reproduce the metrics of Fig 7: windowed receive bitrate,
+frame-level jitter, rendered frame rate, and the SSIM distribution.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..sim.units import TimeUs, US_PER_SEC, us_to_ms
+from ..trace.schema import CapturePoint, FrameRecord, MediaKind, PacketRecord
+
+SSIM_MAX = 0.90
+SSIM_SPAN = 0.105
+SSIM_K = 11.0
+
+
+def ssim_from_bpp(bits_per_pixel: float, noise: float = 0.0) -> float:
+    """Structural similarity of an encoded frame given its bit budget."""
+    if bits_per_pixel < 0:
+        raise ValueError(f"bits per pixel must be >= 0: {bits_per_pixel}")
+    value = SSIM_MAX - SSIM_SPAN * math.exp(-SSIM_K * bits_per_pixel) + noise
+    return float(min(0.99, max(0.40, value)))
+
+
+@dataclass
+class QoeSummary:
+    """Fig 7's four metrics, plus stall statistics."""
+
+    receive_bitrate_kbps: List[float]
+    frame_jitter_ms: List[float]
+    frame_rate_fps: List[float]
+    ssim: List[float]
+    stall_count: int
+    mean_frame_delay_ms: float
+
+    def medians(self) -> dict:
+        """Median of each QoE metric (handy for bench tables)."""
+
+        def med(xs: Sequence[float]) -> float:
+            return float(np.median(xs)) if len(xs) else float("nan")
+
+        return {
+            "bitrate_kbps": med(self.receive_bitrate_kbps),
+            "jitter_ms": med(self.frame_jitter_ms),
+            "fps": med(self.frame_rate_fps),
+            "ssim": med(self.ssim),
+        }
+
+
+def windowed_receive_bitrate_kbps(
+    packets: Sequence[PacketRecord],
+    window_us: TimeUs = US_PER_SEC,
+    point: CapturePoint = CapturePoint.RECEIVER,
+) -> List[float]:
+    """Received media bitrate per window (Fig 7a / Fig 8 top)."""
+    arrivals: List[Tuple[TimeUs, int]] = []
+    for p in packets:
+        if p.kind not in (MediaKind.VIDEO, MediaKind.AUDIO):
+            continue
+        t = p.capture_at(point)
+        if t is not None:
+            arrivals.append((t, p.size_bytes))
+    if not arrivals:
+        return []
+    arrivals.sort()
+    start = arrivals[0][0]
+    end = arrivals[-1][0]
+    n_windows = int((end - start) // window_us) + 1
+    bits = [0.0] * n_windows
+    for t, size in arrivals:
+        bits[int((t - start) // window_us)] += size * 8
+    seconds_per_window = window_us / US_PER_SEC
+    return [b / seconds_per_window / 1_000 for b in bits]
+
+
+def frame_level_jitter_ms(frames: Sequence[FrameRecord]) -> List[float]:
+    """Frame-level jitter (Fig 7b): |Δarrival − Δcapture| per frame pair.
+
+    Arrival of a frame is the arrival of its last packet, approximated here
+    by the recorded render-ready time.
+    """
+    complete = sorted(
+        (f for f in frames if f.rendered_us is not None and f.stream == "video"),
+        key=lambda f: f.capture_us,
+    )
+    jitter: List[float] = []
+    for prev, cur in zip(complete, complete[1:]):
+        d_arrival = cur.rendered_us - prev.rendered_us
+        d_capture = cur.capture_us - prev.capture_us
+        jitter.append(abs(us_to_ms(d_arrival - d_capture)))
+    return jitter
+
+
+def frame_rate_series(
+    frames: Sequence[FrameRecord], window_us: TimeUs = US_PER_SEC
+) -> List[float]:
+    """Rendered video frames per second, per window (Fig 7c / Fig 8 middle)."""
+    rendered = sorted(
+        f.rendered_us
+        for f in frames
+        if f.rendered_us is not None and f.stream == "video"
+    )
+    if not rendered:
+        return []
+    start, end = rendered[0], rendered[-1]
+    n_windows = int((end - start) // window_us) + 1
+    counts = [0] * n_windows
+    for t in rendered:
+        counts[int((t - start) // window_us)] += 1
+    seconds_per_window = window_us / US_PER_SEC
+    return [c / seconds_per_window for c in counts]
+
+
+def ssim_values(frames: Sequence[FrameRecord]) -> List[float]:
+    """SSIM of every rendered video frame (Fig 7d)."""
+    return [
+        f.ssim
+        for f in frames
+        if f.ssim is not None and f.rendered_us is not None and f.stream == "video"
+    ]
+
+
+def qoe_summary(
+    packets: Sequence[PacketRecord],
+    frames: Sequence[FrameRecord],
+    window_us: TimeUs = US_PER_SEC,
+) -> QoeSummary:
+    """Aggregate all Fig 7 metrics for one experiment run."""
+    video_frames = [f for f in frames if f.stream == "video"]
+    delays = [
+        us_to_ms(f.rendered_us - f.capture_us)
+        for f in video_frames
+        if f.rendered_us is not None
+    ]
+    return QoeSummary(
+        receive_bitrate_kbps=windowed_receive_bitrate_kbps(packets, window_us),
+        frame_jitter_ms=frame_level_jitter_ms(frames),
+        frame_rate_fps=frame_rate_series(frames, window_us),
+        ssim=ssim_values(frames),
+        stall_count=sum(1 for f in video_frames if f.stalled),
+        mean_frame_delay_ms=float(np.mean(delays)) if delays else float("nan"),
+    )
+
+
+def cdf(values: Sequence[float]) -> Tuple[np.ndarray, np.ndarray]:
+    """Empirical CDF as (sorted values, cumulative probabilities)."""
+    if len(values) == 0:
+        return np.array([]), np.array([])
+    xs = np.sort(np.asarray(values, dtype=float))
+    ps = np.arange(1, len(xs) + 1) / len(xs)
+    return xs, ps
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Percentile helper returning NaN on empty input."""
+    if len(values) == 0:
+        return float("nan")
+    return float(np.percentile(np.asarray(values, dtype=float), q))

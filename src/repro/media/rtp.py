@@ -1,0 +1,156 @@
+"""RTP packetization and frame reassembly.
+
+A video frame (often several packets, sent as a burst) is split into MTU-
+sized RTP packets sharing a frame id and an SVC layer id in the header
+extension, with the marker bit on the last packet (how VCAs signal frame
+boundaries).  The receiver-side :class:`FrameReassembler` detects frame
+completion and reports per-frame first/last packet arrivals — the basis of
+the paper's delay-spread analysis (Fig 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from ..net.packet import (
+    AUDIO_SSRC,
+    RTP_AUDIO_CLOCK_HZ,
+    RTP_VIDEO_CLOCK_HZ,
+    VIDEO_SSRC,
+    make_rtp_packet,
+)
+from ..sim.units import TimeUs, US_PER_SEC
+from ..trace.schema import MediaKind, PacketRecord
+
+DEFAULT_MTU_PAYLOAD = 1_100
+
+
+class RtpPacketizer:
+    """Sender-side splitter: one media unit -> a burst of RTP packets."""
+
+    def __init__(
+        self,
+        flow_id: str,
+        kind: MediaKind,
+        ssrc: Optional[int] = None,
+        mtu_payload: int = DEFAULT_MTU_PAYLOAD,
+    ) -> None:
+        if mtu_payload <= 0:
+            raise ValueError("MTU payload must be positive")
+        self.flow_id = flow_id
+        self.kind = kind
+        self.ssrc = ssrc or (VIDEO_SSRC if kind == MediaKind.VIDEO else AUDIO_SSRC)
+        self.mtu_payload = mtu_payload
+        self._seq = 0
+        clock = RTP_VIDEO_CLOCK_HZ if kind == MediaKind.VIDEO else RTP_AUDIO_CLOCK_HZ
+        self._clock_hz = clock
+
+    def packetize(
+        self, frame_id: int, layer_id: int, size_bytes: int, capture_us: TimeUs
+    ) -> List[PacketRecord]:
+        """Split one media unit into RTP packets (burst order preserved)."""
+        if size_bytes <= 0:
+            raise ValueError(f"media unit size must be positive: {size_bytes}")
+        timestamp = int(capture_us * self._clock_hz / US_PER_SEC)
+        packets: List[PacketRecord] = []
+        remaining = size_bytes
+        first = True
+        while remaining > 0:
+            payload = min(self.mtu_payload, remaining)
+            remaining -= payload
+            packets.append(
+                make_rtp_packet(
+                    flow_id=self.flow_id,
+                    kind=self.kind,
+                    payload_bytes=payload,
+                    ssrc=self.ssrc,
+                    seq=self._seq,
+                    timestamp=timestamp,
+                    frame_id=frame_id,
+                    layer_id=layer_id,
+                    marker=remaining == 0,
+                    frame_start=first,
+                )
+            )
+            first = False
+            self._seq += 1
+        return packets
+
+
+@dataclass
+class FrameAssembly:
+    """Receiver-side view of one frame's packets."""
+
+    frame_id: int
+    layer_id: int
+    first_arrival_us: Optional[TimeUs] = None
+    last_arrival_us: Optional[TimeUs] = None
+    received_bytes: int = 0
+    received_count: int = 0
+    min_seq: Optional[int] = None
+    start_seq: Optional[int] = None  # seq of the frame-start packet
+    marker_seq: Optional[int] = None
+    rtp_timestamp: Optional[int] = None
+    packet_ids: List[int] = field(default_factory=list)
+
+    @property
+    def complete(self) -> bool:
+        """True once every packet from frame start to the marker arrived."""
+        if self.marker_seq is None or self.start_seq is None:
+            return False
+        return self.received_count == self.marker_seq - self.start_seq + 1
+
+    def spread_us(self) -> Optional[TimeUs]:
+        """Delay spread: time between first and last packet of the frame."""
+        if self.first_arrival_us is None or self.last_arrival_us is None:
+            return None
+        return self.last_arrival_us - self.first_arrival_us
+
+
+FrameCompleteCallback = Callable[[FrameAssembly], None]
+
+
+class FrameReassembler:
+    """Groups arriving RTP packets back into frames."""
+
+    def __init__(self, on_frame_complete: FrameCompleteCallback) -> None:
+        self._on_complete = on_frame_complete
+        self._assemblies: Dict[int, FrameAssembly] = {}
+        self.frames_completed = 0
+        self.duplicate_packets = 0
+
+    def on_packet(self, packet: PacketRecord, arrival_us: TimeUs) -> None:
+        """Feed one received RTP packet into reassembly."""
+        rtp = packet.rtp
+        if rtp is None:
+            raise ValueError(f"packet {packet.packet_id} has no RTP info")
+        assembly = self._assemblies.get(rtp.frame_id)
+        if assembly is None:
+            assembly = FrameAssembly(frame_id=rtp.frame_id, layer_id=rtp.layer_id)
+            self._assemblies[rtp.frame_id] = assembly
+        if packet.packet_id in assembly.packet_ids:
+            self.duplicate_packets += 1
+            return
+        assembly.packet_ids.append(packet.packet_id)
+        assembly.received_count += 1
+        assembly.received_bytes += packet.size_bytes
+        assembly.rtp_timestamp = rtp.timestamp
+        if assembly.first_arrival_us is None or arrival_us < assembly.first_arrival_us:
+            assembly.first_arrival_us = arrival_us
+        if assembly.last_arrival_us is None or arrival_us > assembly.last_arrival_us:
+            assembly.last_arrival_us = arrival_us
+        if assembly.min_seq is None or rtp.seq < assembly.min_seq:
+            assembly.min_seq = rtp.seq
+        if rtp.frame_start:
+            assembly.start_seq = rtp.seq
+        if rtp.marker:
+            assembly.marker_seq = rtp.seq
+        if assembly.complete:
+            del self._assemblies[rtp.frame_id]
+            self.frames_completed += 1
+            self._on_complete(assembly)
+
+    def pending_frames(self) -> int:
+        """Frames still missing packets (lost or in flight)."""
+        return len(self._assemblies)

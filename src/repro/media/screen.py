@@ -1,0 +1,113 @@
+"""The paper's screen-capture measurement methodology, §2.
+
+"We inject a prerecorded video file, annotated frame-by-frame with QR
+codes, via a virtual camera device.  At the receiver side, we capture the
+screen at 70 fps (slightly above the typical monitor refresh rate).  Using
+this method, we determine if a particular frame was on the screen for
+longer than its intended (packetization) time."
+
+:class:`ScreenCapture` replays that pipeline over the renderer's output:
+it samples which frame id is "on screen" every 1/70 s (the QR decode) and
+derives displayed-duration, frame-rate, and stall statistics *from the
+samples alone* — an independent observer that the internal renderer
+accounting can be validated against.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from ..sim.units import TimeUs, US_PER_SEC
+from ..trace.schema import FrameRecord
+
+CAPTURE_RATE_HZ = 70.0
+CAPTURE_PERIOD_US: TimeUs = round(US_PER_SEC / CAPTURE_RATE_HZ)
+
+
+@dataclass
+class ScreenSample:
+    """One screen grab: which frame's QR code was visible."""
+
+    time_us: TimeUs
+    frame_id: Optional[int]  # None before the first frame renders
+
+
+@dataclass
+class ScreenObservation:
+    """Statistics derived purely from the sampled screen."""
+
+    samples: List[ScreenSample] = field(default_factory=list)
+
+    def frames_seen(self) -> List[int]:
+        """Distinct frame ids in display order."""
+        seen: List[int] = []
+        for sample in self.samples:
+            if sample.frame_id is not None and (
+                not seen or seen[-1] != sample.frame_id
+            ):
+                seen.append(sample.frame_id)
+        return seen
+
+    def display_durations_us(self) -> List[Tuple[int, TimeUs]]:
+        """(frame_id, on-screen duration) from consecutive samples."""
+        durations: List[Tuple[int, TimeUs]] = []
+        current: Optional[int] = None
+        count = 0
+        for sample in self.samples:
+            if sample.frame_id == current:
+                count += 1
+                continue
+            if current is not None:
+                durations.append((current, count * CAPTURE_PERIOD_US))
+            current = sample.frame_id
+            count = 1
+        if current is not None:
+            durations.append((current, count * CAPTURE_PERIOD_US))
+        return [(fid, d) for fid, d in durations if fid is not None]
+
+    def observed_fps(self) -> float:
+        """Average displayed frame rate over the observation."""
+        frames = self.frames_seen()
+        if len(self.samples) < 2 or not frames:
+            return 0.0
+        span_s = (self.samples[-1].time_us - self.samples[0].time_us) / US_PER_SEC
+        return len(frames) / span_s if span_s > 0 else 0.0
+
+    def stalls(self, nominal_period_us: TimeUs, factor: float = 1.8) -> int:
+        """Frames on screen much longer than their packetization time."""
+        return sum(
+            1
+            for _fid, duration in self.display_durations_us()
+            if duration > factor * nominal_period_us
+        )
+
+
+def capture_screen(
+    frames: Sequence[FrameRecord],
+    start_us: TimeUs,
+    end_us: TimeUs,
+    period_us: TimeUs = CAPTURE_PERIOD_US,
+) -> ScreenObservation:
+    """Sample the rendered-frame timeline like the paper's screen recorder.
+
+    A frame is "on screen" from its render time until the next frame
+    renders.
+    """
+    rendered = sorted(
+        (
+            (f.rendered_us, f.frame_id)
+            for f in frames
+            if f.stream == "video" and f.rendered_us is not None
+        ),
+    )
+    times = [t for t, _ in rendered]
+    observation = ScreenObservation()
+    t = start_us
+    while t <= end_us:
+        idx = bisect_right(times, t) - 1
+        frame_id = rendered[idx][1] if idx >= 0 else None
+        observation.samples.append(ScreenSample(time_us=t, frame_id=frame_id))
+        t += period_us
+    return observation

@@ -1,0 +1,93 @@
+"""Scalable Video Coding temporal layers, as Zoom uses them (§2, Fig 8).
+
+Zoom scales frame rate through SVC's temporal dimension: a base layer at
+seven or 14 fps plus enhancement layers reaching 14 or 28 fps.  When the
+target is 14 fps the enhancement layer carries a different RTP identifier
+("Low-FPS Enhancement").  We reproduce the four operating points the
+paper's Fig 8 exhibits:
+
+* ``FULL``  — 28 fps: 14 fps base + 14 fps high-FPS enhancement;
+* ``SKIP``  — ≈21 fps: transient frame skipping under high jitter
+  (every other enhancement frame dropped);
+* ``LOW``   — 14 fps: 7 fps base + 7 fps low-FPS enhancement, the
+  persistent reaction to very high absolute delay;
+* ``BASE``  — 7 fps: base layer only.
+
+The capture clock always ticks at the full rate (one slot every 1/28 s);
+a mode decides, per slot, whether to encode and at which layer.
+"""
+
+from __future__ import annotations
+
+from enum import Enum, IntEnum
+from typing import Optional
+
+from ..sim.units import TimeUs, US_PER_SEC
+
+
+class SvcLayer(IntEnum):
+    """Temporal layer identifiers carried in the RTP header extension."""
+
+    BASE = 0
+    LOW_FPS_ENH = 1
+    HIGH_FPS_ENH = 2
+
+
+class FpsMode(Enum):
+    """Operating points of Zoom's frame-rate adaptation."""
+
+    FULL = "full_28"
+    SKIP = "skip_21"
+    LOW = "low_14"
+    BASE = "base_7"
+
+
+FULL_RATE_FPS = 28.0
+CAPTURE_SLOT_US: TimeUs = round(US_PER_SEC / FULL_RATE_FPS)
+
+# Per-mode layer pattern over a 4-slot cycle of the 28 fps capture clock.
+# ``None`` means the slot is skipped (not encoded, not sent).
+_PATTERNS = {
+    FpsMode.FULL: (
+        SvcLayer.BASE,
+        SvcLayer.HIGH_FPS_ENH,
+        SvcLayer.BASE,
+        SvcLayer.HIGH_FPS_ENH,
+    ),
+    FpsMode.SKIP: (
+        SvcLayer.BASE,
+        SvcLayer.HIGH_FPS_ENH,
+        SvcLayer.BASE,
+        None,
+    ),
+    FpsMode.LOW: (SvcLayer.BASE, None, SvcLayer.LOW_FPS_ENH, None),
+    FpsMode.BASE: (SvcLayer.BASE, None, None, None),
+}
+
+MODE_FPS = {
+    FpsMode.FULL: 28.0,
+    FpsMode.SKIP: 21.0,
+    FpsMode.LOW: 14.0,
+    FpsMode.BASE: 7.0,
+}
+
+
+def layer_for_slot(mode: FpsMode, slot_index: int) -> Optional[SvcLayer]:
+    """Which layer (if any) the given capture slot carries in ``mode``."""
+    pattern = _PATTERNS[mode]
+    return pattern[slot_index % len(pattern)]
+
+
+def nominal_fps(mode: FpsMode) -> float:
+    """Frame rate delivered by ``mode`` when nothing is lost."""
+    return MODE_FPS[mode]
+
+
+def frame_period_us(mode: FpsMode) -> TimeUs:
+    """Average spacing between sent frames in ``mode``."""
+    return round(US_PER_SEC / MODE_FPS[mode])
+
+
+def layers_active(mode: FpsMode) -> set:
+    """The set of SVC layers a mode transmits (for Fig 8's bitrate split)."""
+    return {layer for layer in _PATTERNS[mode] if layer is not None}

@@ -1,0 +1,19 @@
+"""§5 mitigations: app-aware RAN scheduling, RAN-aware CC, L4S signalling."""
+
+from .aware_ran import AppAwareAdvisor, MediaSchedule
+from .l4s import EcnMarker, L4sRateController, sojourn_of, summarize_marking
+from .ml_predictor import PeriodicityPredictor
+from .ran_aware_cc import MaskingComparison, RanAwareGcc, compare_masking
+
+__all__ = [
+    "AppAwareAdvisor",
+    "EcnMarker",
+    "L4sRateController",
+    "MaskingComparison",
+    "MediaSchedule",
+    "PeriodicityPredictor",
+    "RanAwareGcc",
+    "compare_masking",
+    "sojourn_of",
+    "summarize_marking",
+]

@@ -1,0 +1,128 @@
+"""Application-aware uplink grant scheduling (§5.2).
+
+VCA traffic is highly predictable: a frame roughly every 33 or 66 ms, with
+slowly varying sizes (P-frames only).  The paper proposes that the base
+station exploit this — either from RTP-extension metadata announced by the
+application, or by learning the pattern — and issue one right-sized grant
+exactly when a frame is generated and ready for transmission, instead of
+trickling it through small proactive grants until a late BSR grant arrives.
+The paper estimates this can cut frame-level delay inflation roughly in
+half; in our simulator it does better, collapsing the spread to a single
+slot for frames that fit one TB.
+
+:class:`AppAwareAdvisor` plugs into the scheduler's advisor hook.  Its
+timing/size knowledge comes from a :class:`MediaSchedule` — filled either
+directly by the application (metadata path) or by the
+:class:`~repro.mitigation.ml_predictor.PeriodicityPredictor` (learning
+path).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..phy.grants import PendingGrant
+from ..phy.params import RanConfig
+from ..phy.tdd import TddFrame
+from ..sim.units import TimeUs, ms
+from ..trace.schema import TbKind
+
+
+@dataclass
+class MediaSchedule:
+    """What the RAN knows about one sender's media pattern.
+
+    ``next_frame_us`` and ``frame_period_us`` describe the frame clock;
+    ``frame_size_bytes`` is a periodically updated size estimate (the RTP
+    metadata of §5.2).  ``audio_period_us``/``audio_size_bytes`` cover the
+    audio stream so it does not starve when proactive grants are off.
+    """
+
+    next_frame_us: TimeUs
+    frame_period_us: TimeUs
+    frame_size_bytes: int
+    audio_period_us: TimeUs = ms(20.0)
+    audio_size_bytes: int = 220
+
+    def advance_to(self, now_us: TimeUs) -> None:
+        """Move the frame clock forward past ``now_us``."""
+        if self.frame_period_us <= 0:
+            raise ValueError("frame period must be positive")
+        while self.next_frame_us <= now_us:
+            self.next_frame_us += self.frame_period_us
+
+
+class AppAwareAdvisor:
+    """Issues frame-aligned, right-sized grants for one UE."""
+
+    def __init__(
+        self,
+        config: RanConfig,
+        tdd: TddFrame,
+        ue_id: int,
+        schedule: MediaSchedule,
+        headroom: float = 1.25,
+        ready_margin_us: TimeUs = 500,
+        suppress_proactive_grants: bool = False,
+    ) -> None:
+        self._config = config
+        self._tdd = tdd
+        self.ue_id = ue_id
+        self.schedule = schedule
+        self.headroom = headroom
+        self.ready_margin_us = ready_margin_us
+        self.suppress_proactive_grants = suppress_proactive_grants
+        self._next_audio_grant_us: TimeUs = 0
+        self.grants_issued = 0
+
+    # ------------------------------------------------------------------
+    # GrantAdvisor interface
+    # ------------------------------------------------------------------
+    def grants_for_slot(self, slot_us: TimeUs) -> List[PendingGrant]:
+        """Grants to serve in this slot: frame-aligned plus audio keep-alive."""
+        grants: List[PendingGrant] = []
+        frame_grant = self._frame_grant(slot_us)
+        if frame_grant is not None:
+            grants.append(frame_grant)
+        if self.suppress_proactive_grants:
+            audio_grant = self._audio_grant(slot_us)
+            if audio_grant is not None:
+                grants.append(audio_grant)
+        return grants
+
+    def suppress_proactive(self, ue_id: int, slot_us: TimeUs) -> bool:
+        """Suppress proactive grants for the managed UE when configured."""
+        return self.suppress_proactive_grants and ue_id == self.ue_id
+
+    # ------------------------------------------------------------------
+    def _frame_grant(self, slot_us: TimeUs) -> Optional[PendingGrant]:
+        # A frame generated at t is transmittable at the first UL slot
+        # starting after t + processing margin.  Issue the grant for exactly
+        # that slot, sized for the current frame-size estimate.
+        ready = self.schedule.next_frame_us + self.ready_margin_us
+        if slot_us < self._tdd.next_ul_slot_start(ready):
+            return None
+        self.schedule.advance_to(slot_us)
+        size_bits = int(self.schedule.frame_size_bytes * 8 * self.headroom)
+        self.grants_issued += 1
+        return PendingGrant(
+            ue_id=self.ue_id,
+            kind=TbKind.REQUESTED,
+            size_bits=max(size_bits, 1_000),
+            usable_slot_us=slot_us,
+            issued_us=slot_us,
+        )
+
+    def _audio_grant(self, slot_us: TimeUs) -> Optional[PendingGrant]:
+        if slot_us < self._next_audio_grant_us:
+            return None
+        self._next_audio_grant_us = slot_us + self.schedule.audio_period_us
+        size_bits = int(self.schedule.audio_size_bytes * 8 * self.headroom)
+        return PendingGrant(
+            ue_id=self.ue_id,
+            kind=TbKind.REQUESTED,
+            size_bits=max(size_bits, 500),
+            usable_slot_us=slot_us,
+            issued_us=slot_us,
+        )

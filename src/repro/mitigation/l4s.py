@@ -1,0 +1,124 @@
+"""L4S-style explicit congestion signalling (§5.3, last paragraph).
+
+The paper points to L4S (RFC 9330) as an attractive protocol for carrying
+an accelerate/brake signal from the access network to the sender, with the
+open question of how the signal should behave under *predictable* RAN
+artifacts (scheduling spread) versus *unpredictable* loss-driven HARQ
+spikes.  We implement the two halves:
+
+* :class:`EcnMarker` — a step-threshold CE marker on queue sojourn time
+  (the L4S dual-queue style marker), with an option to ignore sojourn that
+  PHY telemetry attributes to scheduling/HARQ rather than to queue build-up;
+* :class:`L4sRateController` — a DCTCP/Prague-style sender that maintains
+  an EWMA of the marked fraction and applies a proportional multiplicative
+  decrease, with additive increase otherwise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..sim.units import TimeUs, ms, us_to_ms
+from ..trace.schema import PacketRecord
+
+
+@dataclass
+class EcnMarker:
+    """Marks packets whose queue sojourn exceeds a step threshold.
+
+    With ``exclude_ran_artifacts`` the marker answers the paper's closing
+    question: the *predictable* RAN components — TDD alignment, frame delay
+    spread, HARQ rounds, and up to one BSR scheduling delay of grant wait —
+    are subtracted before the threshold comparison, so only queue build-up
+    that persists beyond the grant loop (genuine capacity shortage) brakes
+    the sender.
+    """
+
+    threshold_us: TimeUs = ms(5.0)
+    exclude_ran_artifacts: bool = False
+    bsr_allowance_us: TimeUs = ms(10.0)
+    marked: int = 0
+    seen: int = 0
+
+    def mark(self, packet: PacketRecord, sojourn_us: TimeUs) -> bool:
+        """Decide the CE bit for one packet; returns True if marked."""
+        self.seen += 1
+        effective = sojourn_us
+        if self.exclude_ran_artifacts and packet.ran is not None:
+            t = packet.ran
+            predictable = (
+                t.sched_wait_us
+                + t.spread_wait_us
+                + t.harq_delay_us
+                + min(t.queue_wait_us, self.bsr_allowance_us)
+            )
+            effective = max(0, sojourn_us - predictable)
+        is_marked = effective > self.threshold_us
+        if is_marked:
+            self.marked += 1
+            packet.__dict__["ecn_ce"] = True
+        return is_marked
+
+    @property
+    def mark_fraction(self) -> float:
+        """Fraction of observed packets marked so far."""
+        return self.marked / self.seen if self.seen else 0.0
+
+
+class L4sRateController:
+    """Prague-style sender reaction to the CE-mark fraction."""
+
+    def __init__(
+        self,
+        initial_rate_kbps: float = 600.0,
+        min_rate_kbps: float = 50.0,
+        max_rate_kbps: float = 2_500.0,
+        gain: float = 1.0 / 16.0,  # DCTCP alpha EWMA gain
+        additive_kbps_per_update: float = 15.0,
+    ) -> None:
+        self.rate_kbps = initial_rate_kbps
+        self.min_rate_kbps = min_rate_kbps
+        self.max_rate_kbps = max_rate_kbps
+        self.gain = gain
+        self.additive_kbps_per_update = additive_kbps_per_update
+        self.alpha = 0.0
+        self._window_marked = 0
+        self._window_total = 0
+
+    def on_packet_feedback(self, ce_marked: bool) -> None:
+        """Accumulate one packet's CE bit from the feedback channel."""
+        self._window_total += 1
+        if ce_marked:
+            self._window_marked += 1
+
+    def update_rate(self) -> float:
+        """Close the current observation window and update the rate."""
+        if self._window_total > 0:
+            fraction = self._window_marked / self._window_total
+            self.alpha += self.gain * (fraction - self.alpha)
+            self._window_marked = 0
+            self._window_total = 0
+        if self.alpha > 0.01:
+            self.rate_kbps *= 1.0 - self.alpha / 2.0
+        else:
+            self.rate_kbps += self.additive_kbps_per_update
+        self.rate_kbps = min(self.max_rate_kbps, max(self.min_rate_kbps, self.rate_kbps))
+        return self.rate_kbps
+
+
+def sojourn_of(packet: PacketRecord) -> TimeUs:
+    """Uplink sojourn (enqueue to delivery) from PHY telemetry, else 0."""
+    if packet.ran is None or packet.ran.delivered_us is None:
+        return 0
+    return packet.ran.delivered_us - packet.ran.enqueue_us
+
+
+def summarize_marking(markers: dict) -> str:
+    """Human-readable comparison of marker variants (bench helper)."""
+    lines = []
+    for name, marker in markers.items():
+        lines.append(
+            f"{name}: marked {marker.marked}/{marker.seen} "
+            f"({100 * marker.mark_fraction:.1f}%)"
+        )
+    return "\n".join(lines)

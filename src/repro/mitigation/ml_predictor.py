@@ -1,0 +1,125 @@
+"""Traffic-pattern learning for grant prediction (§5.2, second option).
+
+Instead of explicit RTP metadata, "the base stations can use machine
+learning to learn the current transmission patterns, and predict future
+traffic demands to precisely issue grants."  This module implements the
+classical online version of that idea: cluster uplink packet arrivals into
+bursts, estimate the burst period and phase from the recent burst train,
+and keep an EWMA of burst sizes.  The output continuously refreshes a
+:class:`~repro.mitigation.aware_ran.MediaSchedule`, so the same advisor
+serves both the metadata path and the learned path.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional, Tuple
+
+from ..sim.units import TimeUs, ms
+from .aware_ran import MediaSchedule
+
+
+class PeriodicityPredictor:
+    """Online burst-period/phase/size estimator for one uplink flow."""
+
+    def __init__(
+        self,
+        burst_gap_us: TimeUs = 5_000,
+        history: int = 32,
+        size_alpha: float = 0.2,
+        min_observations: int = 4,
+    ) -> None:
+        self.burst_gap_us = burst_gap_us
+        self.history = history
+        self.size_alpha = size_alpha
+        self.min_observations = min_observations
+        self._burst_starts: Deque[TimeUs] = deque(maxlen=history)
+        self._burst_sizes: Deque[int] = deque(maxlen=history)
+        self._packet_sizes: Deque[int] = deque(maxlen=200)
+        self._current_burst_start: Optional[TimeUs] = None
+        self._current_burst_bytes = 0
+        self._last_packet_us: Optional[TimeUs] = None
+        self._size_estimate: float = 0.0
+        self.bursts_observed = 0
+
+    # ------------------------------------------------------------------
+    def observe(self, time_us: TimeUs, size_bytes: int) -> None:
+        """Feed one uplink packet observation (time, size).
+
+        Small packets (audio samples, feedback) are excluded from burst
+        clustering: an audio sample landing just before a video frame would
+        otherwise pull the learned frame phase early by several
+        milliseconds.
+        """
+        self._packet_sizes.append(size_bytes)
+        if size_bytes < self._frame_packet_threshold():
+            return
+        if (
+            self._last_packet_us is None
+            or time_us - self._last_packet_us > self.burst_gap_us
+        ):
+            self._close_burst()
+            self._current_burst_start = time_us
+            self._current_burst_bytes = 0
+        self._current_burst_bytes += size_bytes
+        self._last_packet_us = time_us
+
+    def _frame_packet_threshold(self) -> float:
+        sizes = sorted(self._packet_sizes)
+        if len(sizes) < 10:
+            return 600.0
+        return 0.5 * sizes[int(0.9 * (len(sizes) - 1))]
+
+    def _close_burst(self) -> None:
+        if self._current_burst_start is None:
+            return
+        self.bursts_observed += 1
+        # Only *large* bursts (video frames) drive the period estimate —
+        # interleaved single-packet audio samples would otherwise corrupt
+        # both the period and the size EWMA.
+        if self._is_frame_burst(self._current_burst_bytes):
+            self._burst_starts.append(self._current_burst_start)
+            self._burst_sizes.append(self._current_burst_bytes)
+            if self._size_estimate == 0.0:
+                self._size_estimate = float(self._current_burst_bytes)
+            else:
+                self._size_estimate += self.size_alpha * (
+                    self._current_burst_bytes - self._size_estimate
+                )
+        self._current_burst_start = None
+
+    def _is_frame_burst(self, size_bytes: int) -> bool:
+        if not self._burst_sizes:
+            return size_bytes >= 600  # larger than any audio sample
+        reference = sorted(self._burst_sizes)[len(self._burst_sizes) // 2]
+        return size_bytes >= 0.5 * reference
+
+    # ------------------------------------------------------------------
+    def estimate(self) -> Optional[Tuple[TimeUs, TimeUs, int]]:
+        """Current (next_burst_us, period_us, size_bytes), or None if unsure."""
+        if len(self._burst_starts) < self.min_observations:
+            return None
+        starts = list(self._burst_starts)
+        gaps = [b - a for a, b in zip(starts, starts[1:]) if b - a > 0]
+        if not gaps:
+            return None
+        gaps.sort()
+        period = gaps[len(gaps) // 2]  # median is robust to skipped frames
+        phase = starts[-1]
+        next_burst = phase + period
+        return next_burst, period, int(self._size_estimate)
+
+    def refresh_schedule(self, schedule: MediaSchedule, now_us: TimeUs) -> bool:
+        """Push the current estimate into a live MediaSchedule.
+
+        Returns True if the schedule was updated.
+        """
+        est = self.estimate()
+        if est is None:
+            return False
+        next_burst, period, size = est
+        schedule.frame_period_us = period
+        schedule.frame_size_bytes = max(size, 200)
+        schedule.next_frame_us = next_burst
+        schedule.advance_to(now_us)
+        return True

@@ -1,0 +1,41 @@
+"""Network layer: packets, links, SFU, capture taps, call topology."""
+
+from .links import DelayLink, EmulatedLink, ProcessingNode
+from .packet import (
+    AUDIO_SSRC,
+    ICMP_PACKET_BYTES,
+    RTP_AUDIO_CLOCK_HZ,
+    RTP_OVERHEAD,
+    RTP_VIDEO_CLOCK_HZ,
+    VIDEO_SSRC,
+    make_feedback_packet,
+    make_probe_packet,
+    make_rtp_packet,
+)
+from .topology import (
+    AccessUplink,
+    CallTopology,
+    EmulatedUplink,
+    PathConfig,
+    RanUplink,
+)
+
+__all__ = [
+    "AUDIO_SSRC",
+    "AccessUplink",
+    "CallTopology",
+    "DelayLink",
+    "EmulatedLink",
+    "EmulatedUplink",
+    "ICMP_PACKET_BYTES",
+    "PathConfig",
+    "ProcessingNode",
+    "RTP_AUDIO_CLOCK_HZ",
+    "RTP_OVERHEAD",
+    "RTP_VIDEO_CLOCK_HZ",
+    "RanUplink",
+    "VIDEO_SSRC",
+    "make_feedback_packet",
+    "make_probe_packet",
+    "make_rtp_packet",
+]

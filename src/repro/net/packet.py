@@ -1,0 +1,73 @@
+"""Packet construction helpers and protocol overhead accounting."""
+
+from __future__ import annotations
+
+from ..trace.schema import MediaKind, PacketRecord, RtpInfo, new_packet_id
+
+# Header overheads in bytes.
+IPV4_HEADER = 20
+UDP_HEADER = 8
+RTP_HEADER = 12
+RTP_EXTENSION = 8  # layer id, transport-wide sequence, etc.
+RTP_OVERHEAD = IPV4_HEADER + UDP_HEADER + RTP_HEADER + RTP_EXTENSION
+ICMP_PACKET_BYTES = 64
+
+VIDEO_SSRC = 0x1111_0001
+AUDIO_SSRC = 0x2222_0001
+
+# 90 kHz RTP media clock for video (RFC 3550 convention).
+RTP_VIDEO_CLOCK_HZ = 90_000
+RTP_AUDIO_CLOCK_HZ = 48_000
+
+
+def make_rtp_packet(
+    flow_id: str,
+    kind: MediaKind,
+    payload_bytes: int,
+    ssrc: int,
+    seq: int,
+    timestamp: int,
+    frame_id: int,
+    layer_id: int,
+    marker: bool,
+    frame_start: bool = False,
+) -> PacketRecord:
+    """Build one RTP-over-UDP datagram record."""
+    if payload_bytes <= 0:
+        raise ValueError(f"payload must be positive: {payload_bytes}")
+    return PacketRecord(
+        packet_id=new_packet_id(),
+        flow_id=flow_id,
+        kind=kind,
+        size_bytes=payload_bytes + RTP_OVERHEAD,
+        rtp=RtpInfo(
+            ssrc=ssrc,
+            seq=seq,
+            timestamp=timestamp,
+            frame_id=frame_id,
+            layer_id=layer_id,
+            marker=marker,
+            frame_start=frame_start,
+        ),
+    )
+
+
+def make_probe_packet(seq: int) -> PacketRecord:
+    """Build one ICMP echo request record."""
+    return PacketRecord(
+        packet_id=new_packet_id(),
+        flow_id="icmp",
+        kind=MediaKind.PROBE,
+        size_bytes=ICMP_PACKET_BYTES,
+        rtp=None,
+    )
+
+
+def make_feedback_packet(payload_bytes: int = 80) -> PacketRecord:
+    """Build one RTCP feedback datagram record."""
+    return PacketRecord(
+        packet_id=new_packet_id(),
+        flow_id="rtcp",
+        kind=MediaKind.FEEDBACK,
+        size_bytes=payload_bytes + IPV4_HEADER + UDP_HEADER,
+    )

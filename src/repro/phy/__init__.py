@@ -1,0 +1,60 @@
+"""5G RAN simulator: TDD scheduling, grants, BSR, HARQ, cross traffic."""
+
+from .buffer import DrainedSegment, UeBuffer
+from .bsr import bsr_index, bsr_upper_edge_bytes, quantize_buffer_bytes
+from .channel import ChannelState, FixedChannel, GaussMarkovChannel
+from .crosstraffic import CrossTrafficSource, attach_cross_traffic
+from .grants import PendingGrant
+from .harq import HarqOutcome, run_harq
+from .mcs import (
+    MAX_MCS_INDEX,
+    McsEntry,
+    bits_per_prb,
+    mcs_entry,
+    mcs_for_snr,
+    prbs_for_bits,
+    tbs_bits,
+)
+from .params import CrossTrafficConfig, CrossTrafficPhase, RanConfig
+from .ran import CapacityWindow, RanSimulator
+from .scheduler import GnbScheduler, GrantAdvisor, SlotAllocation
+from .sniffer import SnifferConfig, sniff, sniffed_trace
+from .tdd import TddFrame
+from .ue import TbBuildResult, UePhy
+
+__all__ = [
+    "CapacityWindow",
+    "ChannelState",
+    "CrossTrafficConfig",
+    "CrossTrafficPhase",
+    "CrossTrafficSource",
+    "DrainedSegment",
+    "FixedChannel",
+    "GaussMarkovChannel",
+    "GnbScheduler",
+    "GrantAdvisor",
+    "HarqOutcome",
+    "MAX_MCS_INDEX",
+    "McsEntry",
+    "PendingGrant",
+    "RanConfig",
+    "RanSimulator",
+    "SlotAllocation",
+    "SnifferConfig",
+    "TbBuildResult",
+    "TddFrame",
+    "UeBuffer",
+    "UePhy",
+    "attach_cross_traffic",
+    "bits_per_prb",
+    "bsr_index",
+    "bsr_upper_edge_bytes",
+    "mcs_entry",
+    "mcs_for_snr",
+    "prbs_for_bits",
+    "quantize_buffer_bytes",
+    "run_harq",
+    "sniff",
+    "sniffed_trace",
+    "tbs_bits",
+]

@@ -1,0 +1,70 @@
+"""Buffer Status Report quantization (3GPP TS 38.321 §6.1.3.1).
+
+A BSR does not report the exact byte count: the UE sends an index into a
+geometric table of buffer-size levels and the base station sizes the grant
+for the *upper edge* of the reported level.  This quantization is one more
+reason requested grants over-allocate (§3.1).
+
+We implement the long-BSR 8-bit table from TS 38.321 Table 6.1.3.1-2 via its
+generating formula: 254 levels geometrically spaced from 10 B to 81,338,368 B,
+index 0 meaning "empty" and index 255 meaning "more than the maximum".
+"""
+
+from __future__ import annotations
+
+_MIN_BYTES = 10
+_MAX_BYTES = 81_338_368
+_LEVELS = 254  # indices 1..254 carry sizes; 0 = empty; 255 = overflow
+
+# Geometric spacing factor such that level 254 == _MAX_BYTES.
+_GROWTH = (_MAX_BYTES / _MIN_BYTES) ** (1.0 / (_LEVELS - 1))
+
+
+def _build_table() -> tuple:
+    """Precompute the strictly increasing upper-edge table (levels 1..254)."""
+    edges = []
+    previous = 0
+    for level in range(1, _LEVELS + 1):
+        value = int(round(_MIN_BYTES * _GROWTH ** (level - 1)))
+        value = max(value, previous + 1)  # the standard table never repeats
+        edges.append(value)
+        previous = value
+    return tuple(edges)
+
+
+_EDGES = _build_table()
+
+
+def bsr_index(buffer_bytes: int) -> int:
+    """Quantize a buffer occupancy to the 8-bit BSR index."""
+    if buffer_bytes < 0:
+        raise ValueError(f"buffer size must be >= 0: {buffer_bytes}")
+    if buffer_bytes == 0:
+        return 0
+    if buffer_bytes > _MAX_BYTES:
+        return 255
+    # Smallest index whose upper edge covers the occupancy.
+    lo, hi = 0, len(_EDGES) - 1
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if _EDGES[mid] >= buffer_bytes:
+            hi = mid
+        else:
+            lo = mid + 1
+    return lo + 1  # table levels start at index 1
+
+
+def bsr_upper_edge_bytes(index: int) -> int:
+    """Upper edge of a BSR level — what the base station grants for."""
+    if not 0 <= index <= 255:
+        raise ValueError(f"BSR index out of range: {index}")
+    if index == 0:
+        return 0
+    if index == 255:
+        return _MAX_BYTES
+    return _EDGES[index - 1]
+
+
+def quantize_buffer_bytes(buffer_bytes: int) -> int:
+    """Round a buffer occupancy up to the granted size after BSR quantization."""
+    return bsr_upper_edge_bytes(bsr_index(buffer_bytes))

@@ -1,0 +1,105 @@
+"""The UE transmission buffer (RLC queue).
+
+Packets arriving from the application wait here until uplink grants drain
+them.  A transport block drains bytes in FIFO order and may segment a
+packet across several TBs (RLC segmentation), which is exactly what makes a
+video frame's packet burst trickle out over multiple proactive grants
+(§3.1, Fig 9a).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, List
+
+from ..sim.units import TimeUs
+from ..trace.schema import PacketRecord
+
+
+@dataclass
+class DrainedSegment:
+    """Bytes of one packet placed into a transport block."""
+
+    packet: PacketRecord
+    taken_bytes: int
+    is_first_segment: bool  # first byte of the packet left the buffer
+    is_last_segment: bool  # last byte of the packet left the buffer
+
+
+class _Entry:
+    __slots__ = ("packet", "remaining", "enqueue_us", "started")
+
+    def __init__(self, packet: PacketRecord, enqueue_us: TimeUs) -> None:
+        self.packet = packet
+        self.remaining = packet.size_bytes
+        self.enqueue_us = enqueue_us
+        self.started = False
+
+
+class UeBuffer:
+    """FIFO byte queue with packet boundaries preserved for telemetry."""
+
+    def __init__(self) -> None:
+        self._queue: Deque[_Entry] = deque()
+        self._bytes = 0
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    @property
+    def bytes_queued(self) -> int:
+        """Total bytes waiting for transmission."""
+        return self._bytes
+
+    @property
+    def empty(self) -> bool:
+        """True if nothing is waiting."""
+        return self._bytes == 0
+
+    def enqueue(self, packet: PacketRecord, now_us: TimeUs) -> None:
+        """Add a packet to the tail of the queue."""
+        if packet.size_bytes <= 0:
+            raise ValueError(
+                f"packet {packet.packet_id} has non-positive size {packet.size_bytes}"
+            )
+        self._queue.append(_Entry(packet, now_us))
+        self._bytes += packet.size_bytes
+
+    def drain(self, max_bytes: int) -> List[DrainedSegment]:
+        """Remove up to ``max_bytes`` from the head, in FIFO order.
+
+        Returns the packet segments taken, flagging first/last segments so
+        the caller can compute scheduling telemetry and completion.
+        """
+        if max_bytes < 0:
+            raise ValueError(f"max_bytes must be >= 0: {max_bytes}")
+        segments: List[DrainedSegment] = []
+        budget = max_bytes
+        while budget > 0 and self._queue:
+            entry = self._queue[0]
+            take = min(budget, entry.remaining)
+            is_first = not entry.started
+            entry.started = True
+            entry.remaining -= take
+            budget -= take
+            self._bytes -= take
+            is_last = entry.remaining == 0
+            if is_last:
+                self._queue.popleft()
+            segments.append(
+                DrainedSegment(
+                    packet=entry.packet,
+                    taken_bytes=take,
+                    is_first_segment=is_first,
+                    is_last_segment=is_last,
+                )
+            )
+        return segments
+
+    def requeue_front(self, packet: PacketRecord, remaining: int, now_us: TimeUs) -> None:
+        """Put bytes back at the head (used when a lost TB is recovered by RLC)."""
+        entry = _Entry(packet, now_us)
+        entry.remaining = remaining
+        self._queue.appendleft(entry)
+        self._bytes += remaining

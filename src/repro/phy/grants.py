@@ -1,0 +1,50 @@
+"""Runtime uplink-grant state tracked by the base-station scheduler."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..sim.units import TimeUs
+from ..trace.schema import TbKind
+
+_grant_ids = itertools.count(1)
+
+
+@dataclass
+class PendingGrant:
+    """A grant the scheduler owes a UE, possibly served over several slots.
+
+    Requested grants become usable ``bsr_sched_delay`` after the triggering
+    BSR; if the cell is busy they may be served later still, or split across
+    slots when larger than the per-slot capacity share.
+    """
+
+    ue_id: int
+    kind: TbKind
+    size_bits: int
+    usable_slot_us: TimeUs
+    issued_us: TimeUs
+    bsr_us: Optional[TimeUs] = None
+    bsr_bytes: Optional[int] = None
+    remaining_bits: int = field(init=False)
+    grant_id: int = field(default_factory=lambda: next(_grant_ids))
+
+    def __post_init__(self) -> None:
+        if self.size_bits <= 0:
+            raise ValueError(f"grant size must be positive: {self.size_bits}")
+        self.remaining_bits = self.size_bits
+
+    def serve(self, bits: int) -> None:
+        """Mark ``bits`` of this grant as allocated in some slot."""
+        if bits <= 0 or bits > self.remaining_bits:
+            raise ValueError(
+                f"cannot serve {bits} bits of grant with {self.remaining_bits} left"
+            )
+        self.remaining_bits -= bits
+
+    @property
+    def done(self) -> bool:
+        """True once the full grant has been allocated."""
+        return self.remaining_bits == 0

@@ -1,0 +1,65 @@
+"""HARQ retransmission model (§3.2).
+
+Each transport block transmission fails independently with the channel's
+block error probability; a failed TB is retransmitted one HARQ round-trip
+later (10 ms in the paper's cell).  Repeated failures inflate packet delay
+by *multiples* of 10 ms; after ``max_rounds`` retransmissions the TB — and
+every packet with a byte in it — is lost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from ..sim.units import TimeUs
+
+
+@dataclass
+class HarqOutcome:
+    """Result of running one TB through the HARQ process."""
+
+    rounds: int  # number of retransmissions (0 = first attempt decoded)
+    lost: bool  # True if still undecoded after max_rounds retransmissions
+    decode_us: TimeUs  # time of successful decode (meaningless if lost)
+    failed_slot_us: List[TimeUs]  # slots of the failed attempts
+
+
+def run_harq(
+    rng: np.random.Generator,
+    first_tx_slot_us: TimeUs,
+    slot_us: TimeUs,
+    decode_delay_us: TimeUs,
+    first_bler: float,
+    retx_bler: float,
+    harq_rtt_us: TimeUs,
+    max_rounds: int,
+) -> HarqOutcome:
+    """Draw the HARQ fate of a TB first transmitted at ``first_tx_slot_us``.
+
+    All rounds are drawn up front (the draws are independent), which lets
+    the scheduler immediately reserve retransmission capacity in the right
+    future slots.
+    """
+    failed: List[TimeUs] = []
+    attempt_slot = first_tx_slot_us
+    bler = first_bler
+    for attempt in range(max_rounds + 1):
+        if rng.random() >= bler:
+            return HarqOutcome(
+                rounds=attempt,
+                lost=False,
+                decode_us=attempt_slot + slot_us + decode_delay_us,
+                failed_slot_us=failed,
+            )
+        failed.append(attempt_slot)
+        attempt_slot += harq_rtt_us
+        bler = retx_bler
+    return HarqOutcome(
+        rounds=max_rounds,
+        lost=True,
+        decode_us=attempt_slot,
+        failed_slot_us=failed,
+    )

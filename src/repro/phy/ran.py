@@ -1,0 +1,250 @@
+"""Top-level RAN simulator: the cell, its UEs, and the slot loop.
+
+:class:`RanSimulator` is the facade the network layer talks to.  It owns the
+TDD clock, the gNB scheduler, and the attached UEs; packets handed to
+:meth:`send_uplink` come out of the per-UE sink callback when their last
+transport block decodes, which the network layer then carries to the mobile
+core.  It also produces the PHY telemetry stream (TB and grant records) that
+Athena correlates, and the per-window granted-capacity series used to
+configure the paper's emulated wired baseline (Fig 7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..sim.engine import Simulator
+from ..sim.random import RngStreams
+from ..sim.units import TimeUs, US_PER_SEC
+from ..trace.schema import PacketRecord, TransportBlockRecord
+from .mcs import bits_per_prb
+from .params import RanConfig
+from .scheduler import GnbScheduler, GrantAdvisor
+from .tdd import TddFrame
+from .ue import PacketSink, UePhy
+
+
+@dataclass
+class CapacityWindow:
+    """Granted vs used uplink bits in one accounting window."""
+
+    start_us: TimeUs
+    granted_bits: int = 0
+    used_bits: int = 0
+
+    def granted_kbps(self, window_us: TimeUs) -> float:
+        """Granted capacity of this window in kbps."""
+        return self.granted_bits / (window_us / US_PER_SEC) / 1_000
+
+    def used_kbps(self, window_us: TimeUs) -> float:
+        """Capacity actually filled with data in this window, kbps."""
+        return self.used_bits / (window_us / US_PER_SEC) / 1_000
+
+
+class RanSimulator:
+    """A single 5G standalone cell with TDD uplink scheduling and HARQ."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        config: Optional[RanConfig] = None,
+        rngs: Optional[RngStreams] = None,
+        record_tb_window: Optional[Tuple[TimeUs, TimeUs]] = None,
+        record_grants: bool = False,
+    ) -> None:
+        self.sim = sim
+        self.config = config or RanConfig()
+        self._rngs = rngs or RngStreams(0)
+        self.tdd = TddFrame(
+            self.config.tdd_pattern, self.config.slot_us, fdd=self.config.fdd
+        )
+        self.scheduler = GnbScheduler(self.config, self.tdd)
+        self.scheduler.record_grants = record_grants
+        self._ues: Dict[int, UePhy] = {}
+        self.tb_log: List[TransportBlockRecord] = []
+        self._record_tb_window = record_tb_window
+        self._capacity: Dict[int, CapacityWindow] = {}
+        self._slot_loop_started = False
+
+    # ------------------------------------------------------------------
+    # Topology
+    # ------------------------------------------------------------------
+    def add_ue(
+        self,
+        ue_id: int,
+        channel: Optional[object] = None,
+        proactive: Optional[bool] = None,
+        record_tbs: bool = False,
+    ) -> UePhy:
+        """Attach a mobile to the cell."""
+        if ue_id in self._ues:
+            raise ValueError(f"UE {ue_id} already attached")
+        ue = UePhy(
+            ue_id=ue_id,
+            sim=self.sim,
+            config=self.config,
+            tdd=self.tdd,
+            rng=self._rngs.stream(f"phy.ue{ue_id}"),
+            channel=channel,
+            proactive=proactive,
+            record_tbs=record_tbs,
+        )
+        self._ues[ue_id] = ue
+        self._ensure_slot_loop()
+        return ue
+
+    def ue(self, ue_id: int) -> UePhy:
+        """Look up an attached UE."""
+        return self._ues[ue_id]
+
+    def set_uplink_sink(self, ue_id: int, sink: PacketSink) -> None:
+        """Set the callback invoked when a UE's packet reaches the mobile core.
+
+        The sink fires one gNB-to-core backhaul delay after the final
+        transport block of the packet decodes.
+        """
+        backhaul = self.config.gnb_to_core_us
+
+        def deliver(packet: PacketRecord, decode_us: TimeUs) -> None:
+            arrival = decode_us + backhaul
+            self.sim.at(arrival, lambda: sink(packet, arrival))
+
+        self._ues[ue_id].sink = deliver
+
+    def set_grant_advisor(self, advisor: Optional[GrantAdvisor]) -> None:
+        """Install an application-aware scheduling strategy (§5.2)."""
+        self.scheduler.advisor = advisor
+
+    # ------------------------------------------------------------------
+    # Data plane
+    # ------------------------------------------------------------------
+    def send_uplink(self, ue_id: int, packet: PacketRecord) -> None:
+        """Hand a packet to a UE's transmission buffer."""
+        ue = self._ues[ue_id]
+
+        def enqueue() -> None:
+            was_empty = ue.enqueue(packet)
+            needs_sr = was_empty and (
+                not ue.proactive or not self.config.proactive_grants
+            )
+            if needs_sr and self.scheduler.pending_grants_for(ue_id) == 0:
+                sr_slot = self.tdd.next_ul_slot_start(self.sim.now)
+                self.sim.at(
+                    sr_slot,
+                    lambda: self.scheduler.on_sr(ue_id, sr_slot, self.sim.now),
+                )
+
+        if self.config.ue_to_gnb_proc_us > 0:
+            self.sim.call_later(self.config.ue_to_gnb_proc_us, enqueue)
+        else:
+            enqueue()
+
+    def send_downlink(
+        self, ue_id: int, packet: PacketRecord, sink: PacketSink
+    ) -> None:
+        """Carry a packet from the core to a UE over the downlink.
+
+        Downlink slots are four times as frequent as uplink slots, so this
+        path adds little and stable delay — matching the paper's takeaway
+        (c) from Fig 3.  Modeled as backhaul + wait-for-DL-slot + one slot.
+        """
+        if ue_id not in self._ues:
+            raise KeyError(f"UE {ue_id} not attached")
+        arrival = self.sim.now + self.config.gnb_to_core_us
+        slot = self.tdd.slot_index(arrival)
+        for _ in range(len(self.tdd.pattern) + 1):
+            if self.tdd.is_downlink_slot(slot) and self.tdd.slot_start(slot) >= arrival:
+                break
+            slot += 1
+        deliver_at = self.tdd.slot_start(slot) + self.config.slot_us
+        self.sim.at(deliver_at, lambda: sink(packet, deliver_at))
+
+    # ------------------------------------------------------------------
+    # Capacity accounting
+    # ------------------------------------------------------------------
+    def capacity_series(self) -> List[CapacityWindow]:
+        """Granted/used capacity per accounting window, time-ordered."""
+        return [self._capacity[k] for k in sorted(self._capacity)]
+
+    def mean_granted_kbps(self) -> float:
+        """Average granted uplink capacity over the run."""
+        windows = self.capacity_series()
+        if not windows:
+            return 0.0
+        total_bits = sum(w.granted_bits for w in windows)
+        span_us = len(windows) * self.config.capacity_window_us
+        return total_bits / (span_us / US_PER_SEC) / 1_000
+
+    def nominal_ul_capacity_kbps(self) -> float:
+        """Theoretical uplink capacity at the default MCS with full allocation."""
+        cfg = self.config
+        per_slot_bits = cfg.n_ul_prbs * bits_per_prb(
+            cfg.default_mcs, cfg.subcarriers_per_prb, cfg.data_symbols_per_slot
+        )
+        return per_slot_bits / (self.tdd.ul_period_us / US_PER_SEC) / 1_000
+
+    # ------------------------------------------------------------------
+    # Slot loop
+    # ------------------------------------------------------------------
+    def _ensure_slot_loop(self) -> None:
+        if self._slot_loop_started:
+            return
+        self._slot_loop_started = True
+        first = self.tdd.next_ul_slot_start(self.sim.now)
+        self.sim.at(first, lambda: self._on_ul_slot(first))
+
+    def _on_ul_slot(self, slot_us: TimeUs) -> None:
+        allocations = self.scheduler.schedule_slot(slot_us, self._ues.values())
+        allocated_ids = {alloc.ue.ue_id for alloc in allocations}
+        # Scheduling-request safety net: a UE with buffered data, no TB this
+        # slot, and no grant in flight raises an SR on the control channel
+        # (otherwise a starved UE could deadlock when proactive grants are
+        # crowded out under load).
+        for ue in self._ues.values():
+            if (
+                ue.ue_id not in allocated_ids
+                and not ue.buffer.empty
+                and self.scheduler.pending_grants_for(ue.ue_id) == 0
+            ):
+                self.scheduler.on_sr(ue.ue_id, slot_us, self.sim.now)
+        for alloc in allocations:
+            state = alloc.ue.channel_state(slot_us)
+            result = alloc.ue.build_tb(
+                slot_us=slot_us,
+                grant_bits=alloc.bits,
+                prbs=alloc.prbs,
+                kind=alloc.kind,
+                state=state,
+            )
+            for failed_slot in result.tb.failed_slot_us:
+                self.scheduler.reserve_retx(failed_slot, result.prbs_used)
+            if result.bsr_delivered_us is not None and result.bsr_bytes:
+                sent_slot = slot_us
+                self.sim.at(
+                    result.bsr_delivered_us,
+                    lambda ue_id=alloc.ue.ue_id, b=result.bsr_bytes, s=sent_slot, d=result.bsr_delivered_us: self.scheduler.on_bsr(
+                        ue_id, s, b, d, self.sim.now
+                    ),
+                )
+            self._account_capacity(slot_us, result.tb)
+            if alloc.ue.record_tbs and self._in_record_window(slot_us):
+                self.tb_log.append(result.tb)
+        next_slot = self.tdd.next_ul_slot_start(slot_us + self.config.slot_us)
+        self.sim.at(next_slot, lambda: self._on_ul_slot(next_slot))
+
+    def _in_record_window(self, slot_us: TimeUs) -> bool:
+        if self._record_tb_window is None:
+            return True
+        start, end = self._record_tb_window
+        return start <= slot_us < end
+
+    def _account_capacity(self, slot_us: TimeUs, tb: TransportBlockRecord) -> None:
+        window_us = self.config.capacity_window_us
+        key = slot_us // window_us
+        window = self._capacity.get(key)
+        if window is None:
+            window = CapacityWindow(start_us=key * window_us)
+            self._capacity[key] = window
+        window.granted_bits += tb.size_bits
+        window.used_bits += tb.used_bits

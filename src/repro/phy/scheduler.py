@@ -1,0 +1,269 @@
+"""The base-station uplink scheduler (§3.1).
+
+Every uplink slot the gNB divides the cell's PRBs among:
+
+1. **HARQ retransmissions** — failed TBs get priority capacity in the slot
+   one HARQ RTT after each failed attempt;
+2. **requested grants** — sized from Buffer Status Reports, usable no
+   earlier than ``bsr_sched_delay`` after the BSR (the ~10 ms loop the
+   paper measures), served FIFO and split across slots when the cell is
+   busy;
+3. **proactive grants** — small fixed-size allocations handed to enabled
+   UEs every uplink slot without waiting for a BSR, which is what trickles
+   a video frame's packets out in 2.5 ms steps.
+
+The scheduler over-grants by construction: a requested grant reflects the
+buffer at BSR time, but proactive TBs drain part of that buffer during the
+scheduling delay, so requested TBs often arrive to an empty buffer (the
+unfilled green bars of Fig 9a).  An optional :class:`GrantAdvisor` hook lets
+the §5.2 application-aware scheduler inject grants and suppress proactive
+allocations.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, Iterable, List, Optional, Protocol
+
+from ..sim.units import TimeUs
+from ..trace.schema import GrantRecord, TbKind
+from .bsr import quantize_buffer_bytes
+from .grants import PendingGrant
+from .mcs import bits_per_prb, prbs_for_bits
+from .params import RanConfig
+from .tdd import TddFrame
+from .ue import UePhy
+
+
+@dataclass
+class SlotAllocation:
+    """One UE's allocation in one uplink slot."""
+
+    ue: UePhy
+    bits: int
+    prbs: int
+    kind: TbKind
+    grant: Optional[PendingGrant] = None
+
+
+class GrantAdvisor(Protocol):
+    """Hook for application-aware scheduling strategies (§5.2)."""
+
+    def grants_for_slot(self, slot_us: TimeUs) -> List[PendingGrant]:
+        """Extra grants to serve in this slot (treated as requested)."""
+
+    def suppress_proactive(self, ue_id: int, slot_us: TimeUs) -> bool:
+        """Return True to skip the proactive grant for this UE this slot."""
+
+
+class GnbScheduler:
+    """Per-slot PRB allocator with BSR/SR grant loops."""
+
+    def __init__(self, config: RanConfig, tdd: TddFrame) -> None:
+        self._config = config
+        self._tdd = tdd
+        # Per-UE grant queues, served round-robin so one backlogged UE
+        # cannot starve the others.
+        self._pending: Dict[int, Deque[PendingGrant]] = {}
+        self._reserved_prbs: Dict[TimeUs, int] = {}
+        self._rr_offset = 0  # round-robin start for fairness
+        self.advisor: Optional[GrantAdvisor] = None
+        self.grant_log: List[GrantRecord] = []
+        self.record_grants = False
+
+    # ------------------------------------------------------------------
+    # Control-plane inputs
+    # ------------------------------------------------------------------
+    def on_bsr(
+        self,
+        ue_id: int,
+        bsr_sent_slot_us: TimeUs,
+        buffer_bytes: int,
+        delivered_us: TimeUs,
+        now_us: TimeUs,
+    ) -> None:
+        """React to a decoded Buffer Status Report.
+
+        The grant is sized for the *quantized* BSR level minus grants this
+        UE is already owed, and becomes usable one scheduling delay after
+        the BSR was sent (later if HARQ delayed the BSR's own TB).
+        """
+        owed_bits = self.pending_grants_for(ue_id)
+        grant_bits = quantize_buffer_bytes(buffer_bytes) * 8 - owed_bits
+        if grant_bits <= 0:
+            return
+        usable = self._tdd.next_ul_slot_start(
+            max(delivered_us, bsr_sent_slot_us + self._config.bsr_sched_delay_us)
+        )
+        grant = PendingGrant(
+            ue_id=ue_id,
+            kind=TbKind.REQUESTED,
+            size_bits=grant_bits,
+            usable_slot_us=usable,
+            issued_us=now_us,
+            bsr_us=bsr_sent_slot_us,
+            bsr_bytes=buffer_bytes,
+        )
+        self._enqueue_grant(grant)
+
+    def on_sr(self, ue_id: int, sr_slot_us: TimeUs, now_us: TimeUs) -> None:
+        """React to a Scheduling Request with a small initial grant."""
+        if self._pending.get(ue_id):
+            return
+        usable = self._tdd.next_ul_slot_start(
+            sr_slot_us + self._config.sr_sched_delay_us
+        )
+        grant = PendingGrant(
+            ue_id=ue_id,
+            kind=TbKind.REQUESTED,
+            size_bits=self._config.sr_grant_bits,
+            usable_slot_us=usable,
+            issued_us=now_us,
+        )
+        self._enqueue_grant(grant)
+
+    def _enqueue_grant(self, grant: PendingGrant) -> None:
+        self._pending.setdefault(grant.ue_id, deque()).append(grant)
+        self._log_grant(grant)
+
+    def reserve_retx(self, failed_slot_us: TimeUs, prbs: int) -> None:
+        """Reserve capacity for a HARQ retransmission one RTT after a failure."""
+        retx_slot = self._tdd.next_ul_slot_start(
+            failed_slot_us + self._config.harq_rtt_us
+        )
+        self._reserved_prbs[retx_slot] = self._reserved_prbs.get(retx_slot, 0) + prbs
+
+    def pending_grants_for(self, ue_id: int) -> int:
+        """Bits of unserved requested grants owed to a UE (tests/SR logic)."""
+        return sum(g.remaining_bits for g in self._pending.get(ue_id, ()))
+
+    # ------------------------------------------------------------------
+    # Per-slot allocation
+    # ------------------------------------------------------------------
+    def schedule_slot(
+        self, slot_us: TimeUs, ues: Iterable[UePhy]
+    ) -> List[SlotAllocation]:
+        """Allocate this uplink slot's PRBs; returns at most one TB per UE."""
+        cfg = self._config
+        available = cfg.n_ul_prbs - self._reserved_prbs.pop(slot_us, 0)
+        available = max(0, available)
+        allocations: Dict[int, SlotAllocation] = {}
+        ue_list = list(ues)
+        ue_by_id = {ue.ue_id: ue for ue in ue_list}
+
+        if self.advisor is not None:
+            for grant in self.advisor.grants_for_slot(slot_us):
+                self._enqueue_grant(grant)
+
+        # 1. Requested grants: under "round_robin" UEs share the slot (so a
+        #    backlogged UE cannot starve the cell); under "fifo" the oldest
+        #    outstanding grant goes first, cell-wide.  Each UE's own grants
+        #    are always FIFO, split across slots when capacity-bound.
+        for ue_id in list(self._pending):
+            if ue_id not in ue_by_id:
+                del self._pending[ue_id]  # UE detached; drop its grants
+        if cfg.scheduler_policy == "fifo":
+            rr_ids = sorted(
+                self._pending,
+                key=lambda uid: self._pending[uid][0].issued_us,
+            )
+            offset = 0
+        else:
+            rr_ids = sorted(self._pending)
+            offset = self._rr_offset
+        n_req = len(rr_ids)
+        for i in range(n_req):
+            if available <= 0:
+                break
+            ue_id = rr_ids[(offset + i) % n_req]
+            queue = self._pending.get(ue_id)
+            if not queue or ue_id in allocations:
+                continue
+            ue = ue_by_id[ue_id]
+            state = ue.channel_state(slot_us)
+            per_prb = bits_per_prb(
+                state.mcs, cfg.subcarriers_per_prb, cfg.data_symbols_per_slot
+            )
+            # Serve this UE's due grants (front of its queue) into one TB.
+            tb_bits = 0
+            tb_prbs = 0
+            served_grant: Optional[PendingGrant] = None
+            while queue and available > 0:
+                grant = queue[0]
+                if grant.usable_slot_us > slot_us:
+                    break
+                want_prbs = prbs_for_bits(
+                    grant.remaining_bits,
+                    state.mcs,
+                    cfg.subcarriers_per_prb,
+                    cfg.data_symbols_per_slot,
+                )
+                prbs = min(want_prbs, available)
+                if prbs == 0:
+                    break
+                bits = min(prbs * per_prb, grant.remaining_bits)
+                grant.serve(bits)
+                tb_bits += bits
+                tb_prbs += prbs
+                available -= prbs
+                served_grant = grant
+                if grant.done:
+                    queue.popleft()
+                else:
+                    break  # capacity-bound: resume this grant next slot
+            if tb_bits > 0:
+                allocations[ue_id] = SlotAllocation(
+                    ue=ue,
+                    bits=tb_bits,
+                    prbs=tb_prbs,
+                    kind=TbKind.REQUESTED,
+                    grant=served_grant,
+                )
+            if not queue:
+                self._pending.pop(ue_id, None)
+
+        # 2. Proactive grants for remaining capacity, round-robin.
+        if cfg.proactive_grants and ue_list:
+            n = len(ue_list)
+            for i in range(n):
+                ue = ue_list[(self._rr_offset + i) % n]
+                if not ue.proactive or ue.ue_id in allocations:
+                    continue
+                if self.advisor is not None and self.advisor.suppress_proactive(
+                    ue.ue_id, slot_us
+                ):
+                    continue
+                state = ue.channel_state(slot_us)
+                prbs = prbs_for_bits(
+                    cfg.proactive_tb_bits,
+                    state.mcs,
+                    cfg.subcarriers_per_prb,
+                    cfg.data_symbols_per_slot,
+                )
+                if prbs > available:
+                    continue
+                available -= prbs
+                allocations[ue.ue_id] = SlotAllocation(
+                    ue=ue, bits=cfg.proactive_tb_bits, prbs=prbs, kind=TbKind.PROACTIVE
+                )
+
+        self._rr_offset += 1  # rotate fairness start every slot
+        return list(allocations.values())
+
+    # ------------------------------------------------------------------
+    def _log_grant(self, grant: PendingGrant) -> None:
+        if not self.record_grants:
+            return
+        self.grant_log.append(
+            GrantRecord(
+                grant_id=grant.grant_id,
+                ue_id=grant.ue_id,
+                kind=grant.kind,
+                issued_us=grant.issued_us,
+                usable_slot_us=grant.usable_slot_us,
+                size_bits=grant.size_bits,
+                bsr_us=grant.bsr_us,
+                bsr_bytes=grant.bsr_bytes,
+            )
+        )

@@ -1,0 +1,84 @@
+"""NG-Scope-style control-channel sniffer imperfections.
+
+Athena's PHY telemetry comes from an NG-Scope-class sniffer decoding the
+cell's control channel [40, 43].  A real sniffer (unlike our simulator's
+ground-truth TB log):
+
+* occasionally *misses* a DCI/TB (decode failure) — a few percent;
+* timestamps TBs with its own sample clock (small jitter);
+* never sees payloads, so it cannot know which packets a TB carried.
+
+:func:`sniff` converts a ground-truth TB log into such an imperfect view;
+tests verify that Athena's TB↔packet inference degrades gracefully under
+it instead of assuming perfect telemetry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import List
+
+import numpy as np
+
+from ..trace.schema import Trace, TransportBlockRecord
+
+
+@dataclass
+class SnifferConfig:
+    """Imperfection model of the control-channel sniffer."""
+
+    miss_rate: float = 0.02  # fraction of TBs the sniffer fails to decode
+    timestamp_jitter_us: float = 50.0  # sample-clock noise on slot times
+    sees_payload: bool = False  # real sniffers never do
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.miss_rate < 1.0:
+            raise ValueError(f"miss rate out of range: {self.miss_rate}")
+        if self.timestamp_jitter_us < 0:
+            raise ValueError("timestamp jitter must be >= 0")
+
+
+def sniff(
+    transport_blocks: List[TransportBlockRecord],
+    rng: np.random.Generator,
+    config: SnifferConfig = SnifferConfig(),
+) -> List[TransportBlockRecord]:
+    """Produce the sniffer's (lossy, payload-blind) view of a TB log."""
+    observed: List[TransportBlockRecord] = []
+    for tb in transport_blocks:
+        if config.miss_rate > 0 and rng.random() < config.miss_rate:
+            continue
+        jitter = 0
+        if config.timestamp_jitter_us > 0:
+            jitter = int(rng.normal(0.0, config.timestamp_jitter_us))
+        observed.append(
+            replace(
+                tb,
+                slot_us=tb.slot_us + jitter,
+                packet_ids=list(tb.packet_ids) if config.sees_payload else [],
+                failed_slot_us=list(tb.failed_slot_us),
+            )
+        )
+    return observed
+
+
+def sniffed_trace(
+    trace: Trace,
+    rng: np.random.Generator,
+    config: SnifferConfig = SnifferConfig(),
+) -> Trace:
+    """Copy of ``trace`` whose TB log is the sniffer's imperfect view.
+
+    Packet/frame/probe records are shared (the sniffer only affects the
+    PHY telemetry source).
+    """
+    view = Trace(
+        metadata={**trace.metadata, "sniffer_miss_rate": config.miss_rate},
+        packets=trace.packets,
+        transport_blocks=sniff(trace.transport_blocks, rng, config),
+        grants=trace.grants,
+        frames=trace.frames,
+        probes=trace.probes,
+        sync_exchanges=trace.sync_exchanges,
+    )
+    return view

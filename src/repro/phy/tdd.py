@@ -1,0 +1,128 @@
+"""TDD frame structure (Fig 6): the downlink/uplink switching pattern.
+
+The cell divides time into slots and repeats a pattern string such as
+``DDDSU``: three downlink slots, one special slot (treated as downlink
+here), and one uplink slot — so an uplink opportunity occurs once every
+2.5 ms while downlink slots are four times as frequent.  This class answers
+the two questions every other component asks: *is slot N uplink?* and
+*when is the next uplink slot at or after time T?*
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+from ..sim.units import TimeUs
+
+
+class TddFrame:
+    """Slot arithmetic for a repeating TDD pattern (or FDD)."""
+
+    def __init__(self, pattern: str, slot_us: TimeUs, fdd: bool = False) -> None:
+        pattern = pattern.upper()
+        if slot_us <= 0:
+            raise ValueError("slot duration must be positive")
+        if not fdd:
+            if not pattern:
+                raise ValueError("empty TDD pattern")
+            invalid = set(pattern) - {"D", "U", "S"}
+            if invalid:
+                raise ValueError(f"invalid slot kinds in pattern: {sorted(invalid)}")
+            if "U" not in pattern:
+                raise ValueError("TDD pattern has no uplink slot")
+        self.pattern = pattern if not fdd else "U"
+        self.slot_us = slot_us
+        self.fdd = fdd
+        self._ul_offsets: List[int] = [
+            i for i, kind in enumerate(self.pattern) if kind == "U"
+        ]
+        self._dl_offsets: List[int] = [
+            i for i, kind in enumerate(self.pattern) if kind in ("D", "S")
+        ]
+
+    @property
+    def period_us(self) -> TimeUs:
+        """Duration of one pattern repetition."""
+        return self.slot_us * len(self.pattern)
+
+    @property
+    def ul_period_us(self) -> TimeUs:
+        """Average spacing between uplink slots (2.5 ms for DDDSU)."""
+        return self.period_us // len(self._ul_offsets)
+
+    def slot_index(self, time_us: TimeUs) -> int:
+        """Global slot number containing ``time_us``."""
+        return time_us // self.slot_us
+
+    def slot_start(self, slot_index: int) -> TimeUs:
+        """Start time of a global slot number."""
+        return slot_index * self.slot_us
+
+    def is_uplink_slot(self, slot_index: int) -> bool:
+        """True if the slot is an uplink opportunity."""
+        if self.fdd:
+            return True
+        return self.pattern[slot_index % len(self.pattern)] == "U"
+
+    def is_downlink_slot(self, slot_index: int) -> bool:
+        """True if the slot can carry downlink data (D or S)."""
+        if self.fdd:
+            return True
+        return self.pattern[slot_index % len(self.pattern)] in ("D", "S")
+
+    def next_ul_slot_start(self, time_us: TimeUs) -> TimeUs:
+        """Start time of the first uplink slot beginning at or after ``time_us``."""
+        slot = self.slot_index(time_us)
+        if self.slot_start(slot) < time_us:
+            slot += 1
+        for _ in range(len(self.pattern) + 1):
+            if self.is_uplink_slot(slot):
+                return self.slot_start(slot)
+            slot += 1
+        raise RuntimeError("no uplink slot found within one pattern period")
+
+    def ul_slots_between(self, start_us: TimeUs, end_us: TimeUs) -> Iterator[TimeUs]:
+        """Yield start times of uplink slots in ``[start_us, end_us)``."""
+        t = self.next_ul_slot_start(start_us)
+        while t < end_us:
+            yield t
+            t = self.next_ul_slot_start(t + self.slot_us)
+
+    def ul_fraction(self) -> float:
+        """Fraction of airtime available to the uplink."""
+        if self.fdd:
+            return 1.0
+        return len(self._ul_offsets) / len(self.pattern)
+
+    def ascii_frame(self, periods: int = 4, bsr_delay_us: TimeUs = 10_000) -> str:
+        """Render the Fig 6 schematic: the DL/UL switching pattern and the
+        BSR→grant loop, as text.
+
+        Each character is one slot; ``v`` marks the slot where a BSR sent in
+        the first uplink slot becomes a usable grant.
+        """
+        grant_us = self.next_ul_slot_start(
+            self.next_ul_slot_start(0) + bsr_delay_us
+        )
+        # Extend the rendering so the grant slot is always visible.
+        slots = max(len(self.pattern) * periods, self.slot_index(grant_us) + 1)
+        row = "".join(
+            "U" if self.is_uplink_slot(i) else
+            ("S" if self.pattern[i % len(self.pattern)] == "S" else "D")
+            for i in range(slots)
+        )
+        first_ul = self.next_ul_slot_start(0)
+        marks = [" "] * slots
+        bsr_idx = self.slot_index(first_ul)
+        grant_idx = self.slot_index(grant_us)
+        if bsr_idx < slots:
+            marks[bsr_idx] = "^"
+        if grant_idx < slots:
+            marks[grant_idx] = "v"
+        header = (
+            f"pattern {self.pattern} "
+            f"(slot {self.slot_us} us, UL every {self.ul_period_us} us)"
+        )
+        legend = ("^ = BSR sent in this UL slot; "
+                  f"v = its grant usable ~{bsr_delay_us // 1000} ms later")
+        return "\n".join([header, row, "".join(marks), legend])

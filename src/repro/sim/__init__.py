@@ -1,0 +1,37 @@
+"""Discrete-event simulation substrate for the Athena reproduction."""
+
+from .engine import EventHandle, SimulationError, Simulator
+from .random import RngStreams
+from .units import (
+    BITS_PER_BYTE,
+    MS_PER_SEC,
+    US_PER_MS,
+    US_PER_SEC,
+    TimeUs,
+    bytes_to_kbits,
+    kbps_to_bytes_per_us,
+    ms,
+    seconds,
+    throughput_kbps,
+    us_to_ms,
+    us_to_sec,
+)
+
+__all__ = [
+    "EventHandle",
+    "SimulationError",
+    "Simulator",
+    "RngStreams",
+    "TimeUs",
+    "BITS_PER_BYTE",
+    "MS_PER_SEC",
+    "US_PER_MS",
+    "US_PER_SEC",
+    "bytes_to_kbits",
+    "kbps_to_bytes_per_us",
+    "ms",
+    "seconds",
+    "throughput_kbps",
+    "us_to_ms",
+    "us_to_sec",
+]

@@ -1,0 +1,135 @@
+"""A minimal deterministic discrete-event simulation engine.
+
+The engine is a priority queue of ``(time_us, sequence, callback)`` entries.
+Ties in time are broken by insertion order, which makes runs fully
+deterministic for a given seed.  Components schedule callbacks either at an
+absolute time (:meth:`Simulator.at`) or after a delay (:meth:`Simulator.call_later`).
+
+Recurring activities (TDD slot clocks, frame-capture clocks, RTCP timers)
+use :meth:`Simulator.every`, which returns a handle that can be cancelled.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, List, Optional, Tuple
+
+from .units import TimeUs
+
+Callback = Callable[[], None]
+
+
+class EventHandle:
+    """Handle for a scheduled event; supports cancellation.
+
+    Cancellation is lazy: the entry stays in the heap but is skipped when
+    popped.  This keeps scheduling O(log n) with no heap surgery.
+    """
+
+    __slots__ = ("cancelled",)
+
+    def __init__(self) -> None:
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the event (and, for recurring events, all repeats) from firing."""
+        self.cancelled = True
+
+
+class SimulationError(RuntimeError):
+    """Raised for invalid engine usage (e.g. scheduling in the past)."""
+
+
+class Simulator:
+    """Deterministic discrete-event simulator with microsecond resolution."""
+
+    def __init__(self) -> None:
+        self._now: TimeUs = 0
+        self._seq = itertools.count()
+        self._queue: List[Tuple[TimeUs, int, EventHandle, Callback]] = []
+        self._running = False
+
+    @property
+    def now(self) -> TimeUs:
+        """Current simulation time in microseconds."""
+        return self._now
+
+    def at(self, time_us: TimeUs, callback: Callback) -> EventHandle:
+        """Schedule ``callback`` at an absolute simulation time."""
+        if time_us < self._now:
+            raise SimulationError(
+                f"cannot schedule at {time_us} us; current time is {self._now} us"
+            )
+        handle = EventHandle()
+        heapq.heappush(self._queue, (time_us, next(self._seq), handle, callback))
+        return handle
+
+    def call_later(self, delay_us: TimeUs, callback: Callback) -> EventHandle:
+        """Schedule ``callback`` after ``delay_us`` microseconds."""
+        if delay_us < 0:
+            raise SimulationError(f"negative delay: {delay_us}")
+        return self.at(self._now + delay_us, callback)
+
+    def every(
+        self,
+        period_us: TimeUs,
+        callback: Callback,
+        start_us: Optional[TimeUs] = None,
+    ) -> EventHandle:
+        """Schedule ``callback`` to run every ``period_us``, starting at ``start_us``.
+
+        Returns a single handle; cancelling it stops all future repeats.
+        """
+        if period_us <= 0:
+            raise SimulationError(f"period must be positive: {period_us}")
+        first = self._now if start_us is None else start_us
+        handle = EventHandle()
+
+        def fire_and_reschedule(when: TimeUs) -> None:
+            def fire() -> None:
+                if handle.cancelled:
+                    return
+                callback()
+                if not handle.cancelled:
+                    fire_and_reschedule(when + period_us)
+
+            heapq.heappush(self._queue, (when, next(self._seq), handle, fire))
+
+        fire_and_reschedule(first)
+        return handle
+
+    def run_until(self, end_us: TimeUs) -> None:
+        """Run events with timestamps <= ``end_us``; afterwards ``now == end_us``."""
+        if self._running:
+            raise SimulationError("run_until called re-entrantly")
+        self._running = True
+        try:
+            while self._queue and self._queue[0][0] <= end_us:
+                time_us, _seq, handle, callback = heapq.heappop(self._queue)
+                if handle.cancelled:
+                    continue
+                self._now = time_us
+                callback()
+            self._now = max(self._now, end_us)
+        finally:
+            self._running = False
+
+    def run(self) -> None:
+        """Run until the event queue is exhausted."""
+        if self._running:
+            raise SimulationError("run called re-entrantly")
+        self._running = True
+        try:
+            while self._queue:
+                time_us, _seq, handle, callback = heapq.heappop(self._queue)
+                if handle.cancelled:
+                    continue
+                self._now = time_us
+                callback()
+        finally:
+            self._running = False
+
+    def pending_events(self) -> int:
+        """Number of queued (possibly cancelled) events; mainly for tests."""
+        return len(self._queue)

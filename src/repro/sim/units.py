@@ -1,0 +1,54 @@
+"""Time and data-size units used throughout the simulator.
+
+All simulation timestamps are integer **microseconds** so that event ordering
+and slot arithmetic (e.g. the 2.5 ms TDD uplink period) are exact.  Analytics
+code converts to float milliseconds at the edges via :func:`us_to_ms`.
+"""
+
+from __future__ import annotations
+
+# Type alias for documentation purposes: a simulation timestamp or duration.
+TimeUs = int
+
+US_PER_MS: int = 1_000
+US_PER_SEC: int = 1_000_000
+MS_PER_SEC: int = 1_000
+
+BITS_PER_BYTE: int = 8
+
+
+def ms(value: float) -> TimeUs:
+    """Convert milliseconds to integer microseconds (rounded to nearest)."""
+    return round(value * US_PER_MS)
+
+
+def seconds(value: float) -> TimeUs:
+    """Convert seconds to integer microseconds (rounded to nearest)."""
+    return round(value * US_PER_SEC)
+
+
+def us_to_ms(value: TimeUs) -> float:
+    """Convert integer microseconds to float milliseconds."""
+    return value / US_PER_MS
+
+
+def us_to_sec(value: TimeUs) -> float:
+    """Convert integer microseconds to float seconds."""
+    return value / US_PER_SEC
+
+
+def kbps_to_bytes_per_us(kbps: float) -> float:
+    """Convert kilobits/second to bytes/microsecond."""
+    return kbps * 1_000 / BITS_PER_BYTE / US_PER_SEC
+
+
+def bytes_to_kbits(nbytes: int) -> float:
+    """Convert a byte count to kilobits."""
+    return nbytes * BITS_PER_BYTE / 1_000
+
+
+def throughput_kbps(nbytes: int, duration_us: TimeUs) -> float:
+    """Average throughput in kbps of ``nbytes`` delivered over ``duration_us``."""
+    if duration_us <= 0:
+        raise ValueError(f"duration must be positive, got {duration_us}")
+    return nbytes * BITS_PER_BYTE / (duration_us / US_PER_SEC) / 1_000

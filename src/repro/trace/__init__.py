@@ -1,0 +1,36 @@
+"""Trace schema and persistence for Athena experiments."""
+
+from .io import TraceFormatError, export_csv, load_trace, save_trace
+from .schema import (
+    CapturePoint,
+    FrameRecord,
+    GrantRecord,
+    MediaKind,
+    PacketRecord,
+    ProbeRecord,
+    RanPacketTelemetry,
+    RtpInfo,
+    SyncExchangeRecord,
+    TbKind,
+    Trace,
+    TransportBlockRecord,
+)
+
+__all__ = [
+    "CapturePoint",
+    "FrameRecord",
+    "GrantRecord",
+    "MediaKind",
+    "PacketRecord",
+    "ProbeRecord",
+    "RanPacketTelemetry",
+    "RtpInfo",
+    "SyncExchangeRecord",
+    "TbKind",
+    "Trace",
+    "TransportBlockRecord",
+    "TraceFormatError",
+    "export_csv",
+    "load_trace",
+    "save_trace",
+]

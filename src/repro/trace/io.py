@@ -1,0 +1,161 @@
+"""Trace persistence: JSON-Lines round-trip and CSV export.
+
+The JSONL format writes one record per line with a ``"type"`` tag, preceded
+by a single ``"meta"`` line, so traces can be streamed and concatenated.  CSV
+export flattens one record family per file for spreadsheet/pandas analysis.
+"""
+
+from __future__ import annotations
+
+import csv
+import dataclasses
+import json
+from pathlib import Path
+from typing import Dict, Type, Union
+
+from .schema import (
+    FrameRecord,
+    GrantRecord,
+    MediaKind,
+    PacketRecord,
+    ProbeRecord,
+    RanPacketTelemetry,
+    RtpInfo,
+    SyncExchangeRecord,
+    TbKind,
+    Trace,
+    TransportBlockRecord,
+)
+
+_RECORD_TYPES: Dict[str, Type] = {
+    "packet": PacketRecord,
+    "tb": TransportBlockRecord,
+    "grant": GrantRecord,
+    "frame": FrameRecord,
+    "probe": ProbeRecord,
+    "sync": SyncExchangeRecord,
+}
+
+_TRACE_FIELDS: Dict[str, str] = {
+    "packet": "packets",
+    "tb": "transport_blocks",
+    "grant": "grants",
+    "frame": "frames",
+    "probe": "probes",
+    "sync": "sync_exchanges",
+}
+
+
+class TraceFormatError(ValueError):
+    """Raised when a trace file cannot be parsed."""
+
+
+def _to_jsonable(value: object) -> object:
+    if isinstance(value, (MediaKind, TbKind)):
+        return value.value
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            f.name: _to_jsonable(getattr(value, f.name))
+            for f in dataclasses.fields(value)
+        }
+    if isinstance(value, dict):
+        return {k: _to_jsonable(v) for k, v in value.items()}
+    if isinstance(value, list):
+        return [_to_jsonable(v) for v in value]
+    return value
+
+
+def _packet_from_dict(data: dict) -> PacketRecord:
+    rtp = RtpInfo(**data["rtp"]) if data.get("rtp") else None
+    ran = RanPacketTelemetry(**data["ran"]) if data.get("ran") else None
+    return PacketRecord(
+        packet_id=data["packet_id"],
+        flow_id=data["flow_id"],
+        kind=MediaKind(data["kind"]),
+        size_bytes=data["size_bytes"],
+        rtp=rtp,
+        captures=dict(data.get("captures", {})),
+        ran=ran,
+        dropped=data.get("dropped", False),
+    )
+
+
+def _tb_from_dict(data: dict) -> TransportBlockRecord:
+    data = dict(data)
+    data["kind"] = TbKind(data["kind"])
+    return TransportBlockRecord(**data)
+
+
+def _record_from_dict(tag: str, data: dict) -> object:
+    if tag == "packet":
+        return _packet_from_dict(data)
+    if tag == "tb":
+        return _tb_from_dict(data)
+    cls = _RECORD_TYPES.get(tag)
+    if cls is None:
+        raise TraceFormatError(f"unknown record type: {tag!r}")
+    return cls(**data)
+
+
+def save_trace(trace: Trace, path: Union[str, Path]) -> None:
+    """Write ``trace`` to ``path`` in the tagged JSONL format."""
+    path = Path(path)
+    with path.open("w", encoding="utf-8") as fh:
+        fh.write(json.dumps({"type": "meta", **_to_jsonable(trace.metadata)}) + "\n")
+        for tag, attr in _TRACE_FIELDS.items():
+            for record in getattr(trace, attr):
+                line = {"type": tag, **_to_jsonable(record)}
+                fh.write(json.dumps(line) + "\n")
+
+
+def load_trace(path: Union[str, Path]) -> Trace:
+    """Read a trace previously written by :func:`save_trace`."""
+    path = Path(path)
+    trace = Trace()
+    with path.open("r", encoding="utf-8") as fh:
+        for line_no, raw in enumerate(fh, start=1):
+            raw = raw.strip()
+            if not raw:
+                continue
+            try:
+                data = json.loads(raw)
+            except json.JSONDecodeError as exc:
+                raise TraceFormatError(f"{path}:{line_no}: invalid JSON") from exc
+            tag = data.pop("type", None)
+            if tag is None:
+                raise TraceFormatError(f"{path}:{line_no}: missing 'type' tag")
+            if tag == "meta":
+                trace.metadata.update(data)
+                continue
+            record = _record_from_dict(tag, data)
+            getattr(trace, _TRACE_FIELDS[tag]).append(record)
+    return trace
+
+
+def export_csv(trace: Trace, directory: Union[str, Path]) -> Dict[str, Path]:
+    """Flatten each record family of ``trace`` into one CSV under ``directory``.
+
+    Returns a map from record family to the written path.  Nested fields are
+    JSON-encoded in a single column.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    written: Dict[str, Path] = {}
+    for tag, attr in _TRACE_FIELDS.items():
+        records = getattr(trace, attr)
+        if not records:
+            continue
+        out_path = directory / f"{attr}.csv"
+        rows = [_to_jsonable(r) for r in records]
+        fieldnames = list(rows[0].keys())
+        with out_path.open("w", encoding="utf-8", newline="") as fh:
+            writer = csv.DictWriter(fh, fieldnames=fieldnames)
+            writer.writeheader()
+            for row in rows:
+                flat = {
+                    k: json.dumps(v) if isinstance(v, (dict, list)) else v
+                    for k, v in row.items()
+                }
+                writer.writerow(flat)
+        written[attr] = out_path
+    return written

@@ -1,0 +1,264 @@
+"""Record schema shared by the simulator, the trace files, and Athena.
+
+These dataclasses mirror the three measurement sources the paper combines:
+
+* **PHY/MAC** — transport blocks and uplink grants, as captured by an
+  NG-Scope-style control-channel sniffer (Fig 2, "Sniff");
+* **Network** — per-packet captures at the sender, the mobile core, the SFU,
+  and the receiver (Fig 2, "Packet Capture" taps 1, 2, 3/3*, 4);
+* **Application** — media frames/samples with SVC-layer annotations and
+  picture quality, plus the ICMP probes used to factor out the WAN.
+
+A :class:`Trace` bundles one experiment's records together with metadata.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, List, Optional
+
+from ..sim.units import TimeUs
+
+_packet_ids = itertools.count(1)
+
+
+def new_packet_id() -> int:
+    """Allocate a process-unique packet identifier."""
+    return next(_packet_ids)
+
+
+class MediaKind(str, Enum):
+    """Classification of a packet's payload."""
+
+    VIDEO = "video"
+    AUDIO = "audio"
+    PROBE = "probe"
+    FEEDBACK = "feedback"
+    CROSS = "cross"
+
+
+class TbKind(str, Enum):
+    """How the uplink grant backing a transport block was issued (§3.1)."""
+
+    PROACTIVE = "proactive"
+    REQUESTED = "requested"
+
+
+class CapturePoint(str, Enum):
+    """Packet-capture taps, numbered as in Fig 2 of the paper."""
+
+    SENDER = "sender"  # tap 1: at the mobile sender
+    CORE = "core"  # tap 2: at the mobile core (isolates the RAN uplink)
+    SFU = "sfu"  # tap 3/3*: at the conferencing SFU
+    RECEIVER = "receiver"  # tap 4: at the wired receiver
+
+
+@dataclass
+class RtpInfo:
+    """RTP header fields Athena reads, including the SVC layer extension.
+
+    ``frame_start`` mirrors the S bit of VP8/VP9-style payload descriptors:
+    set on the first packet of a media unit, it lets the receiver detect
+    frame boundaries without heuristics.
+    """
+
+    ssrc: int
+    seq: int
+    timestamp: int
+    frame_id: int
+    layer_id: int = 0
+    marker: bool = False
+    frame_start: bool = False
+
+
+@dataclass
+class RanPacketTelemetry:
+    """Per-packet RAN delay decomposition (the §5.3 telemetry export).
+
+    All components are in microseconds and sum (with propagation) to the
+    sender→core one-way delay:
+
+    * ``sched_wait_us`` — TDD alignment: wait for the next uplink slot after
+      the packet entered the buffer (bounded by the UL period, §3.1);
+    * ``queue_wait_us`` — additional wait for a sufficient grant (the BSR
+      scheduling loop) and behind earlier buffered bytes;
+    * ``spread_wait_us`` — extra time a segmented packet spent spanning
+      several TBs (its tail rode later uplink slots);
+    * ``harq_delay_us`` — delay added by link-layer retransmissions of the
+      TB(s) carrying this packet, in 10 ms multiples (§3.2).
+    """
+
+    enqueue_us: TimeUs
+    first_tb_us: Optional[TimeUs] = None
+    delivered_us: Optional[TimeUs] = None
+    queue_wait_us: TimeUs = 0
+    sched_wait_us: TimeUs = 0
+    spread_wait_us: TimeUs = 0
+    harq_delay_us: TimeUs = 0
+    harq_rounds: int = 0
+    tb_ids: List[int] = field(default_factory=list)
+
+    def ran_induced_us(self) -> TimeUs:
+        """Total RAN-attributable delay beyond pure propagation."""
+        return (
+            self.queue_wait_us
+            + self.sched_wait_us
+            + self.spread_wait_us
+            + self.harq_delay_us
+        )
+
+
+@dataclass
+class PacketRecord:
+    """One datagram observed at up to four capture points."""
+
+    packet_id: int
+    flow_id: str
+    kind: MediaKind
+    size_bytes: int
+    rtp: Optional[RtpInfo] = None
+    captures: Dict[str, TimeUs] = field(default_factory=dict)
+    ran: Optional[RanPacketTelemetry] = None
+    dropped: bool = False
+
+    def capture_at(self, point: CapturePoint) -> Optional[TimeUs]:
+        """Timestamp at a capture point, or None if never seen there."""
+        return self.captures.get(point.value)
+
+    def set_capture(self, point: CapturePoint, time_us: TimeUs) -> None:
+        """Record the observation of this packet at ``point``."""
+        self.captures[point.value] = time_us
+
+    def one_way_delay_us(
+        self, src: CapturePoint, dst: CapturePoint
+    ) -> Optional[TimeUs]:
+        """One-way delay between two capture points, or None if unseen."""
+        t_src = self.captures.get(src.value)
+        t_dst = self.captures.get(dst.value)
+        if t_src is None or t_dst is None:
+            return None
+        return t_dst - t_src
+
+
+@dataclass
+class TransportBlockRecord:
+    """One PHY transport block, as seen by the control-channel sniffer."""
+
+    tb_id: int
+    ue_id: int
+    slot_us: TimeUs  # slot in which the TB was (first) transmitted
+    kind: TbKind
+    size_bits: int
+    used_bits: int = 0
+    packet_ids: List[int] = field(default_factory=list)
+    harq_rounds: int = 0  # retransmission count (0 = first attempt decoded)
+    failed_slot_us: List[TimeUs] = field(default_factory=list)
+    delivered_us: Optional[TimeUs] = None  # decode success time, None if lost
+
+    @property
+    def is_empty(self) -> bool:
+        """True if the grant went unused (padding only) — wasted bandwidth."""
+        return self.used_bits == 0
+
+    @property
+    def is_retx(self) -> bool:
+        """True if this TB needed at least one HARQ retransmission."""
+        return self.harq_rounds > 0
+
+
+@dataclass
+class GrantRecord:
+    """One uplink grant issued by the base station."""
+
+    grant_id: int
+    ue_id: int
+    kind: TbKind
+    issued_us: TimeUs
+    usable_slot_us: TimeUs
+    size_bits: int
+    bsr_us: Optional[TimeUs] = None  # BSR that triggered it (requested only)
+    bsr_bytes: Optional[int] = None
+
+
+@dataclass
+class FrameRecord:
+    """One media unit: a video frame or an audio sample."""
+
+    frame_id: int
+    stream: str  # "video" | "audio"
+    capture_us: TimeUs
+    encode_done_us: TimeUs
+    size_bytes: int
+    svc_layer: int = 0
+    target_fps: float = 0.0
+    packet_ids: List[int] = field(default_factory=list)
+    ssim: Optional[float] = None
+    rendered_us: Optional[TimeUs] = None
+    display_duration_us: Optional[TimeUs] = None
+    stalled: bool = False
+
+
+@dataclass
+class SyncExchangeRecord:
+    """One NTP-style two-way exchange between a capture host and the core.
+
+    All four timestamps are *local clock readings*: ``t1``/``t4`` on the
+    named host, ``t2``/``t3`` on the core.  Athena's synchronization step
+    estimates per-host clock offsets from these before correlating captures.
+    """
+
+    host: str  # capture point name ("sender", "receiver", "sfu")
+    t1: TimeUs
+    t2: TimeUs
+    t3: TimeUs
+    t4: TimeUs
+
+
+@dataclass
+class ProbeRecord:
+    """One ICMP echo (core → receiver path probe, orange line in Fig 3)."""
+
+    probe_id: int
+    sent_us: TimeUs
+    received_us: Optional[TimeUs] = None
+
+    def owd_us(self) -> Optional[TimeUs]:
+        """One-way delay, or None if the probe was lost."""
+        if self.received_us is None:
+            return None
+        return self.received_us - self.sent_us
+
+
+@dataclass
+class Trace:
+    """All records from one experiment, ready for Athena to correlate."""
+
+    metadata: Dict[str, object] = field(default_factory=dict)
+    packets: List[PacketRecord] = field(default_factory=list)
+    transport_blocks: List[TransportBlockRecord] = field(default_factory=list)
+    grants: List[GrantRecord] = field(default_factory=list)
+    frames: List[FrameRecord] = field(default_factory=list)
+    probes: List[ProbeRecord] = field(default_factory=list)
+    sync_exchanges: List[SyncExchangeRecord] = field(default_factory=list)
+
+    def packets_of_kind(self, kind: MediaKind) -> List[PacketRecord]:
+        """Packets whose payload classification is ``kind``."""
+        return [p for p in self.packets if p.kind == kind]
+
+    def frames_of_stream(self, stream: str) -> List[FrameRecord]:
+        """Frames belonging to the given media stream ("video"/"audio")."""
+        return [f for f in self.frames if f.stream == stream]
+
+    def packet_index(self) -> Dict[int, PacketRecord]:
+        """Map from packet_id to record."""
+        return {p.packet_id: p for p in self.packets}
+
+    def frame_index(self) -> Dict[int, FrameRecord]:
+        """Map from frame_id to record."""
+        return {f.frame_id: f for f in self.frames}
+
+    def tb_index(self) -> Dict[int, TransportBlockRecord]:
+        """Map from tb_id to record."""
+        return {tb.tb_id: tb for tb in self.transport_blocks}

@@ -1,0 +1,100 @@
+"""Tests for the Zoom frame-rate adaptation policy (§2, Fig 8)."""
+
+from repro.app import AdaptationConfig, ZoomAdaptationPolicy
+from repro.media import FpsMode
+from repro.sim import seconds
+
+
+def _policy(**kwargs):
+    return ZoomAdaptationPolicy(AdaptationConfig(**kwargs))
+
+
+def test_starts_at_full_rate():
+    assert _policy().mode == FpsMode.FULL
+
+
+def test_good_conditions_stay_full():
+    policy = _policy()
+    for i in range(20):
+        policy.update(i * seconds(0.1), p95_owd_ms=40.0, jitter_ms=3.0)
+    assert policy.mode == FpsMode.FULL
+    assert policy.mode_changes == 0
+
+
+def test_high_delay_drops_to_low_fps():
+    policy = _policy()
+    mode = policy.update(0, p95_owd_ms=1_500.0, jitter_ms=5.0)
+    assert mode == FpsMode.LOW  # "reducing the frame rate to 14 fps"
+
+
+def test_extreme_delay_drops_to_base():
+    policy = _policy()
+    assert policy.update(0, 5_000.0, 5.0) == FpsMode.BASE
+
+
+def test_low_fps_is_sticky():
+    policy = _policy()
+    policy.update(0, 1_500.0, 5.0)
+    # Conditions recover, but not for long enough.
+    mode = policy.update(seconds(10.0), 50.0, 3.0)
+    assert mode == FpsMode.LOW  # "more permanently reducing the frame rate"
+
+
+def test_low_fps_recovers_after_long_good_period():
+    policy = _policy(low_fps_recovery_us=seconds(30.0))
+    policy.update(0, 1_500.0, 5.0)
+    for i in range(40):
+        policy.update(seconds(1.0 + i), 50.0, 3.0)
+    assert policy.mode == FpsMode.FULL
+
+
+def test_recovery_timer_resets_on_bad_sample():
+    policy = _policy(low_fps_recovery_us=seconds(30.0))
+    policy.update(0, 1_500.0, 5.0)
+    for i in range(20):
+        policy.update(seconds(1.0 + i), 50.0, 3.0)
+    policy.update(seconds(22.0), 500.0, 3.0)  # bad again: resets the timer
+    for i in range(20):
+        policy.update(seconds(23.0 + i), 50.0, 3.0)
+    assert policy.mode == FpsMode.LOW
+
+
+def test_high_jitter_causes_transient_skip():
+    policy = _policy(skip_hold_us=seconds(4.0))
+    mode = policy.update(0, 100.0, jitter_ms=50.0)
+    assert mode == FpsMode.SKIP  # "transiently skip frames, ~20 fps"
+
+
+def test_skip_reverts_after_hold():
+    policy = _policy(skip_hold_us=seconds(4.0))
+    policy.update(0, 100.0, 50.0)
+    assert policy.update(seconds(1.0), 100.0, 3.0) == FpsMode.SKIP
+    assert policy.update(seconds(5.0), 100.0, 3.0) == FpsMode.FULL
+
+
+def test_skip_extended_while_jitter_persists():
+    policy = _policy(skip_hold_us=seconds(4.0))
+    policy.update(0, 100.0, 50.0)
+    policy.update(seconds(3.0), 100.0, 50.0)  # re-arms the hold
+    assert policy.update(seconds(5.0), 100.0, 3.0) == FpsMode.SKIP
+
+
+def test_delay_takes_priority_over_jitter():
+    policy = _policy()
+    mode = policy.update(0, 1_500.0, 60.0)
+    assert mode == FpsMode.LOW
+
+
+def test_base_upgrades_to_low_when_delay_subsides():
+    policy = _policy()
+    policy.update(0, 5_000.0, 5.0)
+    mode = policy.update(seconds(1.0), 800.0, 5.0)
+    assert mode == FpsMode.LOW
+
+
+def test_mode_changes_counted():
+    policy = _policy(skip_hold_us=seconds(2.0))
+    policy.update(0, 100.0, 50.0)  # -> SKIP
+    policy.update(seconds(3.0), 100.0, 3.0)  # -> FULL
+    policy.update(seconds(4.0), 1_500.0, 3.0)  # -> LOW
+    assert policy.mode_changes == 3

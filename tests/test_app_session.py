@@ -1,0 +1,162 @@
+"""Tests for session assembly, the sender/receiver loop, and determinism."""
+
+import numpy as np
+import pytest
+
+from repro.app import ScenarioConfig, run_session
+from repro.media import FpsMode
+from repro.trace import CapturePoint, MediaKind
+
+
+class TestConfigValidation:
+    def test_bad_access_rejected(self):
+        with pytest.raises(ValueError):
+            ScenarioConfig(access="wifi")
+
+    def test_bad_estimator_rejected(self):
+        with pytest.raises(ValueError):
+            ScenarioConfig(estimator="bbr")
+
+    def test_both_aware_modes_rejected(self):
+        with pytest.raises(ValueError):
+            ScenarioConfig(aware_ran=True, aware_ran_learned=True)
+
+
+class TestBasicSession:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_session(ScenarioConfig(duration_s=8.0, seed=4))
+
+    def test_media_flows_end_to_end(self, result):
+        assert result.receiver.packets_received > 200
+        received = [
+            p for p in result.trace.packets
+            if p.capture_at(CapturePoint.RECEIVER) is not None
+        ]
+        assert len(received) > 200
+
+    def test_both_streams_present(self, result):
+        kinds = {p.kind for p in result.trace.packets}
+        assert MediaKind.VIDEO in kinds and MediaKind.AUDIO in kinds
+
+    def test_frames_rendered(self, result):
+        rendered = [f for f in result.trace.frames
+                    if f.stream == "video" and f.rendered_us is not None]
+        assert len(rendered) > 100
+
+    def test_feedback_loop_sets_rates(self, result):
+        assert result.sender.rate_series  # CC feedback reached the encoder
+
+    def test_audio_cadence(self, result):
+        audio = [f for f in result.trace.frames if f.stream == "audio"]
+        captures = sorted(f.capture_us for f in audio)
+        gaps = {b - a for a, b in zip(captures, captures[1:])}
+        assert gaps == {20_000}
+
+    def test_video_cadence_full_mode(self, result):
+        video = sorted(
+            f.capture_us for f in result.trace.frames if f.stream == "video"
+        )
+        gaps = [b - a for a, b in zip(video, video[1:])]
+        assert np.median(gaps) == pytest.approx(35_714, abs=2)
+
+    def test_loss_ratio_negligible_on_clean_run(self, result):
+        assert result.receiver.loss_ratio() < 0.01
+
+
+class TestDeterminism:
+    def test_same_seed_same_outcome(self):
+        a = run_session(ScenarioConfig(duration_s=4.0, seed=13))
+        b = run_session(ScenarioConfig(duration_s=4.0, seed=13))
+        owds_a = [p.one_way_delay_us(CapturePoint.SENDER, CapturePoint.CORE)
+                  for p in a.trace.packets]
+        owds_b = [p.one_way_delay_us(CapturePoint.SENDER, CapturePoint.CORE)
+                  for p in b.trace.packets]
+        assert owds_a == owds_b
+
+    def test_different_seed_differs(self):
+        a = run_session(ScenarioConfig(duration_s=4.0, seed=13))
+        b = run_session(ScenarioConfig(duration_s=4.0, seed=14))
+        sizes_a = [f.size_bytes for f in a.trace.frames]
+        sizes_b = [f.size_bytes for f in b.trace.frames]
+        assert sizes_a != sizes_b
+
+
+class TestEmulatedAccess:
+    def test_emulated_has_no_ran(self):
+        result = run_session(
+            ScenarioConfig(duration_s=4.0, seed=4, access="emulated",
+                           emulated_rate_kbps=20_000, record_tbs=False)
+        )
+        assert result.ran is None
+        assert result.trace.transport_blocks == []
+        assert result.receiver.packets_received > 100
+
+    def test_emulated_latency_floor(self):
+        result = run_session(
+            ScenarioConfig(duration_s=4.0, seed=4, access="emulated",
+                           emulated_rate_kbps=20_000, record_tbs=False)
+        )
+        owds = [
+            p.one_way_delay_us(CapturePoint.SENDER, CapturePoint.CORE)
+            for p in result.trace.packets
+            if p.capture_at(CapturePoint.CORE) is not None
+        ]
+        assert min(owds) >= 15_000  # the tc-style fixed 15 ms
+
+    def test_emulated_default_rate_from_ran_nominal(self):
+        result = run_session(
+            ScenarioConfig(duration_s=2.0, seed=4, access="emulated",
+                           record_tbs=False)
+        )
+        assert result.receiver.packets_received > 0
+
+
+class TestFixedModes:
+    def test_fixed_mode_pins_frame_rate(self):
+        result = run_session(
+            ScenarioConfig(duration_s=4.0, seed=4, fixed_mode=FpsMode.LOW,
+                           record_tbs=False)
+        )
+        video = [f for f in result.trace.frames if f.stream == "video"]
+        fps = len(video) / 4.0
+        assert fps == pytest.approx(14.0, rel=0.1)
+
+    def test_fixed_bitrate_pins_encoder(self):
+        result = run_session(
+            ScenarioConfig(duration_s=4.0, seed=4,
+                           fixed_bitrate_kbps=400.0, record_tbs=False)
+        )
+        assert result.sender.encoder.target_bitrate_kbps == 400.0
+        assert result.sender.rate_series == []
+
+
+class TestChannelPhases:
+    def test_phased_fade_raises_delay(self):
+        from repro.sim import seconds
+
+        config = ScenarioConfig(duration_s=9.0, seed=4, record_tbs=False)
+        config.channel_phases = [(0, 20, 0.0), (seconds(3.0), 0, 0.6),
+                                 (seconds(6.0), 20, 0.0)]
+        result = run_session(config)
+        owds_by_phase = {0: [], 1: [], 2: []}
+        for p in result.trace.packets:
+            s = p.capture_at(CapturePoint.SENDER)
+            d = p.one_way_delay_us(CapturePoint.SENDER, CapturePoint.CORE)
+            if s is None or d is None:
+                continue
+            owds_by_phase[min(2, int(s // seconds(3.0)))].append(d)
+        assert np.median(owds_by_phase[1]) > 2 * np.median(owds_by_phase[0])
+
+
+class TestGaussMarkovChannel:
+    def test_session_runs_with_fading_channel(self):
+        result = run_session(
+            ScenarioConfig(duration_s=6.0, seed=4, channel="gauss_markov",
+                           record_tbs=False)
+        )
+        assert result.receiver.packets_received > 100
+        # Fading produces some HARQ activity.
+        harq = [p for p in result.trace.packets
+                if p.ran is not None and p.ran.harq_rounds > 0]
+        assert harq

@@ -1,0 +1,90 @@
+"""Tests for the NADA and SCReAM baseline controllers."""
+
+import pytest
+
+from repro.cc import NadaConfig, NadaEstimator, PacketArrival, ScreamConfig, ScreamEstimator
+
+
+def _stream(owds_ms, gap_ms=20.0):
+    arrivals = []
+    for i, owd in enumerate(owds_ms):
+        send = int(i * gap_ms * 1_000)
+        arrivals.append(PacketArrival(packet_id=i, send_us=send,
+                                      arrival_us=send + int(owd * 1_000),
+                                      size_bytes=1_200))
+    return arrivals
+
+
+class TestNada:
+    def test_ramps_up_when_uncongested(self):
+        nada = NadaEstimator()
+        start = nada.estimated_rate_kbps()
+        for arrival in _stream([30.0] * 300):
+            nada.on_packet(arrival)
+        assert nada.estimated_rate_kbps() > start
+
+    def test_backs_off_under_queueing(self):
+        nada = NadaEstimator()
+        for arrival in _stream([30.0] * 100):
+            nada.on_packet(arrival)
+        peak = nada.estimated_rate_kbps()
+        for arrival in _stream([30.0 + 80.0] * 300, gap_ms=20.0):
+            # continue the packet ids/times after the first phase
+            arrival.send_us += 100 * 20_000
+            arrival.arrival_us += 100 * 20_000
+            nada.on_packet(arrival)
+        assert nada.estimated_rate_kbps() < peak
+
+    def test_loss_raises_composite_signal(self):
+        nada = NadaEstimator()
+        for arrival in _stream([30.0] * 120):
+            nada.on_packet(arrival)
+        quiet = nada.last_signal_ms
+        for _ in range(20):
+            nada.on_loss(120 * 20_000)
+        for arrival in _stream([30.0] * 10):
+            arrival.send_us += 120 * 20_000
+            arrival.arrival_us += 120 * 20_000
+            nada.on_packet(arrival)
+        assert nada.last_signal_ms > quiet
+
+    def test_rate_respects_bounds(self):
+        config = NadaConfig(min_rate_kbps=100, max_rate_kbps=300,
+                            initial_rate_kbps=200)
+        nada = NadaEstimator(config)
+        for arrival in _stream([30.0] * 1_000):
+            nada.on_packet(arrival)
+        assert nada.estimated_rate_kbps() <= 300
+
+
+class TestScream:
+    def test_window_grows_under_target(self):
+        scream = ScreamEstimator()
+        start = scream.cwnd_bytes
+        for arrival in _stream([30.0] * 200):
+            scream.on_packet(arrival)
+        assert scream.cwnd_bytes > start
+
+    def test_backs_off_when_queue_delay_exceeds_target(self):
+        scream = ScreamEstimator(ScreamConfig(queue_delay_target_ms=40.0))
+        for arrival in _stream([30.0] * 100):
+            scream.on_packet(arrival)
+        peak = scream.cwnd_bytes
+        stream = _stream([130.0] * 200)
+        for arrival in stream:
+            arrival.send_us += 100 * 20_000
+            arrival.arrival_us += 100 * 20_000
+            scream.on_packet(arrival)
+        assert scream.cwnd_bytes < peak
+        assert scream.last_queue_delay_ms > 40.0
+
+    def test_rate_conversion(self):
+        scream = ScreamEstimator(ScreamConfig(assumed_rtt_ms=100.0))
+        scream.cwnd_bytes = 12_500  # 12.5 kB per 100 ms = 1 Mbps
+        assert scream.estimated_rate_kbps() == pytest.approx(1_000)
+
+    def test_cwnd_floor(self):
+        scream = ScreamEstimator()
+        for arrival in _stream([300.0] * 500):
+            scream.on_packet(arrival)
+        assert scream.cwnd_bytes >= scream.config.min_cwnd_bytes

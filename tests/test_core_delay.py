@@ -1,0 +1,137 @@
+"""Tests for delay analytics: OWD series, spread, quantization detection."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import (
+    delay_spread,
+    detect_quantization,
+    owd_series,
+    probe_owd_series,
+    quantization_score,
+    ran_delay_by_media,
+)
+from repro.trace import (
+    CapturePoint,
+    FrameRecord,
+    MediaKind,
+    PacketRecord,
+    ProbeRecord,
+)
+
+
+def _packet(pid, kind, send_us, core_us=None):
+    p = PacketRecord(packet_id=pid, flow_id="f", kind=kind, size_bytes=1_000)
+    p.set_capture(CapturePoint.SENDER, send_us)
+    if core_us is not None:
+        p.set_capture(CapturePoint.CORE, core_us)
+    return p
+
+
+class TestOwdSeries:
+    def test_basic(self):
+        packets = [
+            _packet(1, MediaKind.VIDEO, 0, 5_000),
+            _packet(2, MediaKind.VIDEO, 10_000, 14_000),
+        ]
+        series = owd_series(packets, CapturePoint.SENDER, CapturePoint.CORE)
+        assert [p.owd_ms for p in series] == [5.0, 4.0]
+
+    def test_sorted_by_send_time(self):
+        packets = [
+            _packet(2, MediaKind.VIDEO, 10_000, 14_000),
+            _packet(1, MediaKind.VIDEO, 0, 5_000),
+        ]
+        series = owd_series(packets, CapturePoint.SENDER, CapturePoint.CORE)
+        assert [p.packet_id for p in series] == [1, 2]
+
+    def test_kind_filter(self):
+        packets = [
+            _packet(1, MediaKind.VIDEO, 0, 5_000),
+            _packet(2, MediaKind.AUDIO, 0, 5_000),
+        ]
+        series = owd_series(packets, CapturePoint.SENDER, CapturePoint.CORE,
+                            kinds=(MediaKind.AUDIO,))
+        assert [p.packet_id for p in series] == [2]
+
+    def test_unseen_packets_skipped(self):
+        packets = [_packet(1, MediaKind.VIDEO, 0)]  # never at core
+        assert owd_series(packets, CapturePoint.SENDER, CapturePoint.CORE) == []
+
+
+def test_probe_owd_is_half_rtt():
+    probes = [ProbeRecord(probe_id=1, sent_us=0, received_us=20_000),
+              ProbeRecord(probe_id=2, sent_us=100, received_us=None)]
+    series = probe_owd_series(probes)
+    assert series == [(0, 10.0)]
+
+
+def test_ran_delay_by_media_buckets():
+    packets = [
+        _packet(1, MediaKind.VIDEO, 0, 8_000),
+        _packet(2, MediaKind.AUDIO, 0, 3_000),
+        _packet(3, MediaKind.PROBE, 0, 1_000),
+    ]
+    out = ran_delay_by_media(packets)
+    assert out["video"] == [8.0]
+    assert out["audio"] == [3.0]
+
+
+class TestDelaySpread:
+    def test_spread_of_burst(self):
+        packets = {
+            1: _packet(1, MediaKind.VIDEO, 0, 5_000),
+            2: _packet(2, MediaKind.VIDEO, 30, 7_500),
+            3: _packet(3, MediaKind.VIDEO, 60, 10_000),
+        }
+        frame = FrameRecord(frame_id=1, stream="video", capture_us=0,
+                            encode_done_us=0, size_bytes=3_000,
+                            packet_ids=[1, 2, 3])
+        samples = delay_spread([frame], packets, CapturePoint.CORE)
+        assert len(samples) == 1
+        assert samples[0].spread_ms == pytest.approx(5.0)
+        # At the sender the same burst is nearly back-to-back.
+        sender = delay_spread([frame], packets, CapturePoint.SENDER)
+        assert sender[0].spread_ms == pytest.approx(0.06)
+
+    def test_missing_packets_ignored(self):
+        frame = FrameRecord(frame_id=1, stream="video", capture_us=0,
+                            encode_done_us=0, size_bytes=1_000,
+                            packet_ids=[99])
+        assert delay_spread([frame], {}, CapturePoint.CORE) == []
+
+
+class TestQuantizationDetection:
+    def test_perfect_lattice_scores_zero(self):
+        values = [2.5, 5.0, 7.5, 10.0, 12.5]
+        assert quantization_score(values, 2.5) == pytest.approx(0.0)
+
+    def test_detects_2_5ms_lattice(self):
+        values = [2.5 * k for k in range(1, 20)]
+        step, score = detect_quantization(values)
+        assert step == 2.5
+        assert score == pytest.approx(0.0, abs=1e-9)
+
+    def test_detects_10ms_lattice_prefers_coarsest(self):
+        values = [10.0 * k for k in range(1, 12)]
+        step, _ = detect_quantization(values)
+        assert step == 10.0  # 2.5 also fits, but 10 is the coarsest valid
+
+    def test_random_values_score_high(self):
+        import random
+
+        rng = random.Random(3)
+        values = [rng.uniform(1, 30) for _ in range(300)]
+        assert quantization_score(values, 2.5) > 0.15
+
+    def test_rejects_bad_step(self):
+        with pytest.raises(ValueError):
+            quantization_score([1.0], 0.0)
+
+    @given(step=st.sampled_from([1.0, 2.0, 2.5, 5.0]))
+    def test_lattice_recovered(self, step):
+        values = [step * k for k in range(1, 15)]
+        found, score = detect_quantization(values)
+        assert score < 0.01
+        assert found % step == pytest.approx(0.0, abs=1e-6) or step % found == pytest.approx(0.0, abs=1e-6)

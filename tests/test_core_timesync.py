@@ -1,0 +1,99 @@
+"""Tests for clock modelling and NTP-style offset estimation."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import (
+    HostClock,
+    ProbeExchange,
+    align_captures,
+    estimate_offset,
+    estimate_offset_and_drift,
+)
+
+
+class TestHostClock:
+    def test_offset_applied(self):
+        clock = HostClock("core", offset_us=5_000)
+        assert clock.timestamp(1_000) == 6_000
+
+    def test_drift_applied(self):
+        clock = HostClock("core", drift_ppm=100.0)  # 100 us per second
+        assert clock.timestamp(1_000_000) == 1_000_100
+
+    @given(
+        true_us=st.integers(min_value=0, max_value=10**10),
+        offset=st.integers(min_value=-10**6, max_value=10**6),
+        drift=st.floats(min_value=-200, max_value=200, allow_nan=False),
+    )
+    def test_to_true_inverts_timestamp(self, true_us, offset, drift):
+        clock = HostClock("x", offset_us=offset, drift_ppm=drift)
+        local = clock.timestamp(true_us)
+        assert abs(clock.to_true(local) - true_us) <= 2  # integer rounding
+
+
+def _exchange(offset_us, out_delay, back_delay, t1):
+    """Synthesize one NTP exchange against a server offset by offset_us."""
+    t2 = t1 + out_delay + offset_us
+    t3 = t2 + 100  # server processing
+    t4 = (t3 - offset_us) + back_delay
+    return ProbeExchange(t1=t1, t2=t2, t3=t3, t4=t4)
+
+
+class TestOffsetEstimation:
+    def test_symmetric_delays_recover_offset_exactly(self):
+        exchanges = [_exchange(7_000, 5_000, 5_000, i * 100_000)
+                     for i in range(5)]
+        assert estimate_offset(exchanges) == pytest.approx(7_000)
+
+    def test_min_rtt_filter_rejects_congested_probes(self):
+        clean = _exchange(7_000, 5_000, 5_000, 0)
+        congested = _exchange(7_000, 45_000, 5_000, 100_000)  # asymmetric
+        estimate = estimate_offset([congested, clean, congested])
+        assert estimate == pytest.approx(7_000)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            estimate_offset([])
+
+    @given(offset=st.integers(min_value=-50_000, max_value=50_000))
+    def test_offset_recovered_for_any_value(self, offset):
+        exchanges = [_exchange(offset, 4_000, 4_000, i * 50_000)
+                     for i in range(4)]
+        assert estimate_offset(exchanges) == pytest.approx(offset, abs=1)
+
+
+class TestDriftEstimation:
+    def test_recovers_linear_drift(self):
+        # Offset grows 10 us per 100 ms => 100 ppm.
+        exchanges = []
+        for i in range(20):
+            t1 = i * 100_000
+            offset = 1_000 + i * 10
+            exchanges.append(_exchange(offset, 5_000, 5_000, t1))
+        intercept, drift_ppm = estimate_offset_and_drift(exchanges)
+        assert drift_ppm == pytest.approx(100.0, rel=0.05)
+        assert intercept == pytest.approx(1_000, abs=50)
+
+    def test_requires_two_exchanges(self):
+        with pytest.raises(ValueError):
+            estimate_offset_and_drift([_exchange(0, 1_000, 1_000, 0)])
+
+    def test_zero_drift(self):
+        exchanges = [_exchange(2_000, 5_000, 5_000, i * 100_000)
+                     for i in range(10)]
+        _, drift = estimate_offset_and_drift(exchanges)
+        assert drift == pytest.approx(0.0, abs=1.0)
+
+
+class TestAlignCaptures:
+    def test_offsets_subtracted(self):
+        captures = {"sender": 1_000, "core": 8_000}
+        aligned = align_captures(captures, reference="sender",
+                                 offsets_us={"core": 5_000})
+        assert aligned == {"sender": 1_000, "core": 3_000}
+
+    def test_unknown_point_passes_through(self):
+        aligned = align_captures({"sfu": 100}, "sender", {})
+        assert aligned == {"sfu": 100}

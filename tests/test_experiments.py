@@ -1,0 +1,220 @@
+"""Shape tests for every figure's experiment runner.
+
+These assert the *qualitative* claims of the paper (who is worse, which
+step sizes appear, which mode transitions fire), on runs short enough for
+CI.  The benchmarks regenerate the full-size versions.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    run_fig10,
+    run_fig3,
+    run_fig4,
+    run_fig5,
+    run_fig7,
+    run_fig8,
+    run_fig9a,
+    run_fig9b,
+    run_sec52,
+    run_sec53,
+    sweep_bler,
+    sweep_bsr_delay,
+    sweep_duplexing,
+    sweep_proactive,
+)
+from repro.media import FpsMode
+
+
+class TestFig3:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig3(duration_s=24.0, seed=7)
+
+    def test_uplink_is_primary_jitter_source(self, result):
+        stats = result.jitter_stats()
+        assert stats["rtp_sender_core"]["spread"] > 3 * stats[
+            "rtp_core_receiver"]["spread"]
+
+    def test_sfu_is_secondary_jitter_source(self, result):
+        stats = result.jitter_stats()
+        assert stats["rtp_core_receiver"]["spread"] > stats["icmp"]["spread"]
+
+    def test_wan_low_and_stable(self, result):
+        stats = result.jitter_stats()
+        assert stats["icmp"]["spread"] < 2.0  # ms
+        assert stats["icmp"]["p50"] < 15.0
+
+
+class TestFig4:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig4(duration_s=24.0, seed=7)
+
+    def test_audio_less_delayed_than_video(self, result):
+        medians = result.medians()
+        assert medians["audio"] < medians["video"]
+
+    def test_long_tail_under_load(self, result):
+        tail = result.tail(q=99)
+        medians = result.medians()
+        assert tail["video"] > 2 * medians["video"]
+
+
+class TestFig5:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig5(duration_s=16.0, seed=7)
+
+    def test_sender_spread_near_zero(self, result):
+        assert np.median(result.sender_ms) < 0.5
+
+    def test_core_spread_positive(self, result):
+        # ~40% of media units (single-packet audio, small frames) have zero
+        # spread even in the paper's Fig 5; the upper half shows the RAN
+        # stretching bursts out.
+        assert np.percentile(result.core_ms, 75) >= 2.5
+        assert max(result.core_ms) >= 7.5
+
+    def test_spread_quantized_at_2_5ms(self, result):
+        assert result.quantization_step_ms == 2.5
+        assert result.quantization_score < 0.05
+
+
+class TestFig7:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig7(duration_s=24.0, seed=7)
+
+    def test_5g_worse_on_every_metric(self, result):
+        m5 = result.qoe_5g.medians()
+        me = result.qoe_emulated.medians()
+        assert m5["bitrate_kbps"] <= me["bitrate_kbps"]
+        assert m5["jitter_ms"] > me["jitter_ms"]
+        assert m5["fps"] <= me["fps"]
+        assert m5["ssim"] <= me["ssim"]
+
+    def test_emulated_rate_from_tb_capacity(self, result):
+        assert result.emulated_rate_kbps > 1_000
+
+
+class TestFig8:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig8(duration_s=45.0, seed=7)
+
+    def test_reaches_low_fps_mode(self, result):
+        assert FpsMode.LOW in result.modes_seen()
+
+    def test_delay_exceeds_one_second(self, result):
+        assert result.peak_delay_ms() > 1_000
+
+    def test_fps_drops_during_overload(self, result):
+        duration = result.series.window_s[-1]
+        pre = result.fps_during(0, duration / 3)
+        over = result.fps_during(duration / 3, 2 * duration / 3)
+        assert over < pre
+
+
+class TestFig9:
+    def test_fig9a_mechanism(self):
+        result = run_fig9a(duration_s=10.0, seed=7)
+        # Spread in 2.5 ms steps, and over-granting (unused requested TBs).
+        assert result.median_spread_ms() >= 2.5
+        assert result.median_spread_ms() % 2.5 == pytest.approx(0.0, abs=0.01)
+        assert result.unused_requested_tbs > 0.3 * result.requested_tbs
+        assert result.requested_utilization < result.proactive_utilization
+
+    def test_fig9b_10ms_inflation(self):
+        result = run_fig9b(duration_s=15.0, seed=7, bler=0.25)
+        assert result.retx_tbs > 0
+        assert result.empty_retx_tbs > 0  # empty TBs also retransmitted
+        assert result.mean_inflation_step_ms() == pytest.approx(10.0, abs=2.0)
+
+
+class TestFig10:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig10(duration_s=30.0, seed=7)
+
+    def test_phantom_overuse_on_idle_network(self, result):
+        assert result.overuse_events() > 0
+
+    def test_gradient_fluctuates(self, result):
+        grads = result.gradient_series()
+        assert max(grads) > 0.05
+        assert min(grads) < -0.05
+
+    def test_grouped_mode_is_quieter(self):
+        grouped = run_fig10(duration_s=30.0, seed=7, per_packet=False)
+        per_packet = run_fig10(duration_s=30.0, seed=7, per_packet=True)
+        assert (grouped.history.overuse_fraction()
+                <= per_packet.history.overuse_fraction())
+
+
+class TestSec52:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_sec52(duration_s=12.0, seed=7)
+
+    def test_metadata_scheduler_at_least_halves_delay(self, result):
+        assert result.improvement("aware(metadata)") >= 1.8
+
+    def test_learned_scheduler_comparable(self, result):
+        assert result.improvement("aware(learned)") >= 1.5
+
+    def test_aware_removes_spread(self, result):
+        assert result.outcomes["aware(metadata)"].median_spread() == 0.0
+
+
+class TestSec53:
+    def test_masking_reduces_phantom_overuse(self):
+        result = run_sec53(duration_s=30.0, seed=7)
+        comparison = result.comparison
+        assert comparison.vanilla_overuse_count > 0
+        assert comparison.improvement_factor > 1.2
+
+
+class TestAblations:
+    def test_proactive_grants_cut_delay(self):
+        result = sweep_proactive(duration_s=8.0, seed=7)
+        with_proactive, without = result.points
+        assert without.owd_p50_ms - with_proactive.owd_p50_ms >= 5.0
+
+    def test_bsr_delay_monotone(self):
+        result = sweep_bsr_delay(duration_s=8.0, seed=7,
+                                 delays_ms=(5.0, 20.0))
+        assert result.points[0].owd_p95_ms < result.points[1].owd_p95_ms
+
+    def test_bler_monotone(self):
+        result = sweep_bler(duration_s=8.0, seed=7, blers=(0.0, 0.3))
+        assert result.points[0].owd_p95_ms < result.points[1].owd_p95_ms
+
+    def test_fdd_has_less_spread_than_tdd(self):
+        result = sweep_duplexing(duration_s=8.0, seed=7)
+        by_label = {p.label: p for p in result.points}
+        tdd = by_label["TDD DDDSU (UL/2.5ms)"]
+        fdd = by_label["FDD (UL every slot)"]
+        assert fdd.spread_p50_ms < tdd.spread_p50_ms
+        assert fdd.owd_p50_ms < tdd.owd_p50_ms
+
+
+class TestFig7CapacityReplay:
+    def test_replayed_series_baseline_still_beats_5g(self):
+        from repro.experiments import run_fig7
+
+        result = run_fig7(duration_s=20.0, seed=7, replay_capacity=True)
+        m5 = result.qoe_5g.medians()
+        me = result.qoe_emulated.medians()
+        assert m5["jitter_ms"] > me["jitter_ms"]
+        assert m5["ssim"] <= me["ssim"]
+
+
+class TestSchedulerPolicyAblation:
+    def test_fifo_starves_light_flow_under_overload(self):
+        from repro.experiments import sweep_scheduler_policy
+
+        result = sweep_scheduler_policy(duration_s=18.0, seed=7)
+        rr, fifo = result.points
+        assert fifo.owd_p95_ms > 5 * rr.owd_p95_ms

@@ -1,0 +1,98 @@
+"""Tests for figure-data CSV export."""
+
+import csv
+
+import pytest
+
+from repro.experiments import (
+    export_figure_data,
+    run_ext_jitterbuffer,
+    run_fig5,
+    run_fig9a,
+    run_fig10,
+    sweep_proactive,
+)
+
+
+def _read(path):
+    with path.open() as fh:
+        return list(csv.reader(fh))
+
+
+def test_fig5_export_cdf(tmp_path):
+    result = run_fig5(duration_s=8.0, seed=3)
+    written = export_figure_data(result, tmp_path)
+    names = {p.name for p in written}
+    assert names == {"fig5_sender.csv", "fig5_core.csv"}
+    rows = _read(written[1])
+    assert rows[0] == ["spread_ms", "cdf"]
+    cdf_values = [float(r[1]) for r in rows[1:]]
+    assert cdf_values == sorted(cdf_values)
+    assert cdf_values[-1] == pytest.approx(1.0)
+
+
+def test_fig9a_export_timeline(tmp_path):
+    result = run_fig9a(duration_s=8.0, seed=3)
+    written = export_figure_data(result, tmp_path)
+    rows = _read(written[0])
+    kinds = {r[0] for r in rows[1:]}
+    assert kinds == {"packet", "tb"}
+
+
+def test_fig10_export_gradient(tmp_path):
+    result = run_fig10(duration_s=10.0, seed=3)
+    written = export_figure_data(result, tmp_path)
+    rows = _read(written[0])
+    assert rows[0][:2] == ["sample", "filtered_gradient"]
+    assert len(rows) == len(result.history.samples) + 1
+
+
+def test_ablation_export(tmp_path):
+    result = sweep_proactive(duration_s=6.0, seed=3)
+    written = export_figure_data(result, tmp_path)
+    rows = _read(written[0])
+    assert len(rows) == 3  # header + two configs
+
+
+def test_jitterbuffer_export(tmp_path):
+    result = run_ext_jitterbuffer(duration_s=10.0, seed=3,
+                                  sizings=((2.0, 1.0), (40.0, 8.0)))
+    written = export_figure_data(result, tmp_path)
+    rows = _read(written[0])
+    assert len(rows) == 3
+
+
+def test_unknown_type_rejected(tmp_path):
+    with pytest.raises(TypeError):
+        export_figure_data(object(), tmp_path)
+
+
+def test_fig3_export_series(tmp_path):
+    from repro.experiments import run_fig3
+
+    result = run_fig3(duration_s=8.0, seed=3)
+    written = export_figure_data(result, tmp_path)
+    names = {p.name for p in written}
+    assert "fig3_rtp_sender_core.csv" in names
+    assert "fig3_icmp.csv" in names
+
+
+def test_fig8_export_timeseries(tmp_path):
+    from repro.experiments import run_fig8
+
+    result = run_fig8(duration_s=12.0, seed=3)
+    written = export_figure_data(result, tmp_path)
+    names = {p.name for p in written}
+    assert names == {"fig8_timeseries.csv", "fig8_transitions.csv"}
+    rows = _read([p for p in written if p.name == "fig8_timeseries.csv"][0])
+    assert "fps" in rows[0]
+    assert len(rows) > 5
+
+
+def test_sec53_export(tmp_path):
+    from repro.experiments import run_sec53
+
+    result = run_sec53(duration_s=10.0, seed=3)
+    written = export_figure_data(result, tmp_path)
+    rows = _read(written[0])
+    assert rows[1][0] == "vanilla" and rows[2][0] == "masked"

@@ -1,0 +1,43 @@
+"""Shape tests for the extension experiments (§5.1/§5.3 future work)."""
+
+import pytest
+
+from repro.experiments import run_ext_gcc_contexts, run_ext_l4s
+
+
+class TestExtL4s:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_ext_l4s(duration_s=12.0, seed=7)
+
+    def test_naive_marker_brakes_on_idle_network(self, result):
+        assert result.naive.mark_fraction > 0.1
+        assert result.naive.final_rate_kbps < 200
+
+    def test_aware_marker_stays_quiet(self, result):
+        assert result.aware.mark_fraction < 0.01
+        assert result.aware.min_rate_kbps >= 900.0
+
+    def test_summary_renders(self, result):
+        text = result.summary()
+        assert "naive" in text and "RAN-aware" in text
+
+
+class TestExtGccContexts:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_ext_gcc_contexts(duration_s=12.0, seed=7)
+
+    def test_all_contexts_measured(self, result):
+        assert len(result.points) == 6
+        assert all(p.gradient_std == p.gradient_std for p in result.points)
+
+    def test_fdd_cleanest(self, result):
+        by_label = result.by_label()
+        fdd = by_label["FDD, clean channel"]
+        sparse = by_label["TDD DDDDDDDDSU (sparser UL)"]
+        assert fdd.gradient_std < sparse.gradient_std
+        assert fdd.owd_p50_ms < sparse.owd_p50_ms
+
+    def test_every_context_shows_phantom_overuse(self, result):
+        assert all(p.overuse_fraction > 0 for p in result.points)

@@ -1,0 +1,103 @@
+"""Tests for the video encoder model and the audio source."""
+
+import numpy as np
+import pytest
+
+from repro.media import AudioSource, SvcLayer, VideoEncoder
+
+
+def _encoder(seed=0, **kwargs):
+    return VideoEncoder(np.random.default_rng(seed), **kwargs)
+
+
+class TestVideoEncoder:
+    def test_mean_frame_size_tracks_rate_and_fps(self):
+        enc = _encoder()
+        enc.set_target_bitrate(840.0)
+        enc.set_frame_rate(28.0)
+        sizes = [enc.encode(SvcLayer.BASE).size_bytes for _ in range(500)]
+        expected = 840_000 / 8 / 28
+        assert np.mean(sizes) == pytest.approx(expected, rel=0.1)
+
+    def test_rate_clamped_to_bounds(self):
+        enc = _encoder(min_bitrate_kbps=100, max_bitrate_kbps=1_000)
+        enc.set_target_bitrate(5.0)
+        assert enc.target_bitrate_kbps == 100
+        enc.set_target_bitrate(9_999.0)
+        assert enc.target_bitrate_kbps == 1_000
+
+    def test_ssim_increases_with_bitrate(self):
+        low = _encoder(1)
+        low.set_target_bitrate(150.0)
+        low.set_frame_rate(28.0)
+        high = _encoder(1)
+        high.set_target_bitrate(1_200.0)
+        high.set_frame_rate(28.0)
+        ssim_low = np.mean([low.encode(SvcLayer.BASE).ssim for _ in range(200)])
+        ssim_high = np.mean([high.encode(SvcLayer.BASE).ssim for _ in range(200)])
+        assert ssim_high > ssim_low
+
+    def test_ssim_in_plausible_range(self):
+        enc = _encoder()
+        enc.set_target_bitrate(600.0)
+        enc.set_frame_rate(28.0)
+        ssims = [enc.encode(SvcLayer.BASE).ssim for _ in range(200)]
+        assert all(0.6 < s < 0.99 for s in ssims)
+
+    def test_lower_fps_improves_per_frame_quality_at_same_rate(self):
+        # Zoom's rate controller spends the same bits on fewer frames.
+        full = _encoder(2)
+        full.set_target_bitrate(400.0)
+        full.set_frame_rate(28.0)
+        low = _encoder(2)
+        low.set_target_bitrate(400.0)
+        low.set_frame_rate(14.0)
+        s_full = np.mean([full.encode(SvcLayer.BASE).ssim for _ in range(200)])
+        s_low = np.mean([low.encode(SvcLayer.BASE).ssim for _ in range(200)])
+        assert s_low > s_full
+
+    def test_scene_changes_produce_outliers(self):
+        enc = _encoder(3, scene_change_prob=0.2, scene_change_scale=3.0)
+        enc.set_target_bitrate(600.0)
+        sizes = [enc.encode(SvcLayer.BASE).size_bytes for _ in range(300)]
+        assert max(sizes) > 2.0 * np.median(sizes)
+
+    def test_invalid_fps_rejected(self):
+        with pytest.raises(ValueError):
+            _encoder().set_frame_rate(0)
+
+    def test_invalid_resolution_rejected(self):
+        with pytest.raises(ValueError):
+            _encoder(resolution_pixels=0)
+
+    def test_counters(self):
+        enc = _encoder()
+        enc.encode(SvcLayer.BASE)
+        enc.encode(SvcLayer.HIGH_FPS_ENH)
+        assert enc.frames_encoded == 2
+        assert enc.bytes_encoded > 0
+
+
+class TestAudioSource:
+    def test_sample_interval_default_20ms(self):
+        audio = AudioSource(np.random.default_rng(0))
+        assert audio.sample_interval_us == 20_000
+
+    def test_sizes_near_payload(self):
+        audio = AudioSource(np.random.default_rng(0), dtx_prob=0.0)
+        sizes = [audio.next_sample().size_bytes for _ in range(300)]
+        assert np.mean(sizes) == pytest.approx(160, rel=0.1)
+
+    def test_dtx_produces_small_samples(self):
+        audio = AudioSource(np.random.default_rng(0), dtx_prob=1.0)
+        assert audio.next_sample().size_bytes == 24
+
+    def test_bitrate_roughly_64kbps(self):
+        audio = AudioSource(np.random.default_rng(1))
+        total = sum(audio.next_sample().size_bytes for _ in range(500))
+        kbps = total * 8 / (500 * 0.020) / 1_000
+        assert 50 <= kbps <= 75
+
+    def test_invalid_interval_rejected(self):
+        with pytest.raises(ValueError):
+            AudioSource(np.random.default_rng(0), sample_interval_us=0)

@@ -1,0 +1,130 @@
+"""Tests for the adaptive jitter buffer and display accounting."""
+
+from repro.media import AdaptiveJitterBuffer, SCREEN_SAMPLE_US
+from repro.media.rtp import FrameAssembly
+from repro.sim import Simulator, ms
+from repro.trace import FrameRecord
+
+PERIOD = 35_714  # 28 fps
+
+
+def _frame(frame_id, capture_us, size=4_000):
+    return FrameRecord(frame_id=frame_id, stream="video", capture_us=capture_us,
+                       encode_done_us=capture_us, size_bytes=size)
+
+
+def _assembly(frame_id, arrival_us):
+    return FrameAssembly(frame_id=frame_id, layer_id=0,
+                         first_arrival_us=arrival_us, last_arrival_us=arrival_us,
+                         received_count=1, min_seq=0, marker_seq=0)
+
+
+def _feed(sim, buffer, schedule):
+    """schedule: list of (capture_us, arrival_us) pairs."""
+    frames = []
+    for i, (capture, arrival) in enumerate(schedule):
+        frame = _frame(i, capture)
+        frames.append(frame)
+        sim.at(arrival, lambda f=frame, a=arrival: buffer.on_frame(
+            f, _assembly(f.frame_id, a)))
+    return frames
+
+
+def test_steady_stream_renders_everything_in_order():
+    sim = Simulator()
+    buffer = AdaptiveJitterBuffer(sim, PERIOD)
+    rendered = []
+    buffer.on_render = lambda f, t: rendered.append(f.frame_id)
+    schedule = [(i * PERIOD, i * PERIOD + 20_000) for i in range(50)]
+    frames = _feed(sim, buffer, schedule)
+    sim.run_until(ms(3_000.0))
+    assert rendered == list(range(50))
+    assert buffer.stalls == 0
+    assert all(f.rendered_us is not None for f in frames)
+
+
+def test_render_never_before_arrival():
+    sim = Simulator()
+    buffer = AdaptiveJitterBuffer(sim, PERIOD)
+    schedule = [(i * PERIOD, i * PERIOD + 20_000) for i in range(20)]
+    frames = _feed(sim, buffer, schedule)
+    sim.run_until(ms(2_000.0))
+    for frame, (_, arrival) in zip(frames, schedule):
+        assert frame.rendered_us >= arrival
+
+
+def test_playout_delay_applied():
+    sim = Simulator()
+    buffer = AdaptiveJitterBuffer(sim, PERIOD, min_margin_us=ms(10.0))
+    schedule = [(i * PERIOD, i * PERIOD + 20_000) for i in range(20)]
+    frames = _feed(sim, buffer, schedule)
+    sim.run_until(ms(2_000.0))
+    # Target = capture + min_transit (20 ms) + margin (>= 10 ms).
+    for frame in frames[2:]:
+        assert frame.rendered_us - frame.capture_us >= 30_000
+
+
+def test_late_frame_marks_stall_on_predecessor():
+    sim = Simulator()
+    buffer = AdaptiveJitterBuffer(sim, PERIOD, stall_factor=1.8)
+    schedule = [(i * PERIOD, i * PERIOD + 20_000) for i in range(10)]
+    # Frame 10 arrives 300 ms late; playback freezes on frame 9.
+    schedule.append((10 * PERIOD, 10 * PERIOD + 300_000))
+    frames = _feed(sim, buffer, schedule)
+    sim.run_until(ms(2_000.0))
+    assert buffer.stalls >= 1
+    assert frames[9].stalled
+
+
+def test_display_duration_quantized_to_70hz_grid():
+    sim = Simulator()
+    buffer = AdaptiveJitterBuffer(sim, PERIOD)
+    schedule = [(i * PERIOD, i * PERIOD + 20_000) for i in range(10)]
+    frames = _feed(sim, buffer, schedule)
+    sim.run_until(ms(2_000.0))
+    for frame in frames[:-1]:
+        if frame.display_duration_us is not None:
+            assert frame.display_duration_us % SCREEN_SAMPLE_US == 0
+
+
+def test_out_of_order_older_frame_dropped():
+    sim = Simulator()
+    buffer = AdaptiveJitterBuffer(sim, PERIOD)
+    rendered = []
+    buffer.on_render = lambda f, t: rendered.append(f.frame_id)
+    # Frame 1 arrives long after frame 2 was rendered.
+    schedule = [
+        (0, 20_000),  # frame 0
+        (2 * PERIOD, 2 * PERIOD + 20_000),  # frame 1 (captured later)
+    ]
+    frames = _feed(sim, buffer, schedule)
+    late = _frame(99, PERIOD)  # captured between them, arrives last
+    sim.at(ms(500.0), lambda: buffer.on_frame(late, _assembly(99, ms(500.0))))
+    sim.run_until(ms(2_000.0))
+    assert buffer.frames_dropped_late == 1
+    assert late.rendered_us is None
+    del frames, rendered
+
+
+def test_jitter_estimate_grows_with_variance():
+    sim_smooth = Simulator()
+    smooth = AdaptiveJitterBuffer(sim_smooth, PERIOD)
+    _feed(sim_smooth, smooth,
+          [(i * PERIOD, i * PERIOD + 20_000) for i in range(50)])
+    sim_smooth.run_until(ms(3_000.0))
+
+    sim_jittery = Simulator()
+    jittery = AdaptiveJitterBuffer(sim_jittery, PERIOD)
+    _feed(sim_jittery, jittery,
+          [(i * PERIOD, i * PERIOD + 20_000 + (i % 2) * 15_000)
+           for i in range(50)])
+    sim_jittery.run_until(ms(3_000.0))
+    assert jittery.jitter_estimate_us() > smooth.jitter_estimate_us()
+    assert jittery.current_delay_target_us() > smooth.current_delay_target_us()
+
+
+def test_delay_target_capped():
+    sim = Simulator()
+    buffer = AdaptiveJitterBuffer(sim, PERIOD, max_target_us=ms(100.0))
+    buffer._jitter_us = 1e9
+    assert buffer.current_delay_target_us() == ms(100.0)

@@ -1,0 +1,101 @@
+"""Property-based tests of media-layer invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.media import AdaptiveJitterBuffer, capture_screen
+from repro.media.rtp import FrameAssembly
+from repro.sim import Simulator
+from repro.trace import FrameRecord
+
+PERIOD = 35_714
+
+
+def _frame(frame_id, capture_us):
+    return FrameRecord(frame_id=frame_id, stream="video",
+                       capture_us=capture_us, encode_done_us=capture_us,
+                       size_bytes=1_000)
+
+
+def _assembly(frame_id, arrival_us):
+    return FrameAssembly(frame_id=frame_id, layer_id=0,
+                         first_arrival_us=arrival_us,
+                         last_arrival_us=arrival_us,
+                         received_count=1, min_seq=0, marker_seq=0)
+
+
+@st.composite
+def _arrival_schedule(draw):
+    n = draw(st.integers(min_value=5, max_value=40))
+    schedule = []
+    for i in range(n):
+        transit = draw(st.integers(min_value=5_000, max_value=120_000))
+        schedule.append((i * PERIOD, i * PERIOD + transit))
+    return schedule
+
+
+@settings(max_examples=40, deadline=None)
+@given(schedule=_arrival_schedule())
+def test_jitter_buffer_never_renders_before_arrival(schedule):
+    sim = Simulator()
+    buffer = AdaptiveJitterBuffer(sim, PERIOD)
+    frames = []
+    for i, (capture, arrival) in enumerate(schedule):
+        frame = _frame(i, capture)
+        frames.append((frame, arrival))
+        sim.at(arrival, lambda f=frame, a=arrival: buffer.on_frame(
+            f, _assembly(f.frame_id, a)))
+    sim.run_until(schedule[-1][1] + 2_000_000)
+    for frame, arrival in frames:
+        if frame.rendered_us is not None:
+            assert frame.rendered_us >= arrival
+
+
+@settings(max_examples=40, deadline=None)
+@given(schedule=_arrival_schedule())
+def test_jitter_buffer_renders_in_capture_order(schedule):
+    sim = Simulator()
+    buffer = AdaptiveJitterBuffer(sim, PERIOD)
+    order = []
+    buffer.on_render = lambda f, t: order.append(f.frame_id)
+    for i, (capture, arrival) in enumerate(schedule):
+        frame = _frame(i, capture)
+        sim.at(arrival, lambda f=frame, a=arrival: buffer.on_frame(
+            f, _assembly(f.frame_id, a)))
+    sim.run_until(schedule[-1][1] + 2_000_000)
+    assert order == sorted(order)
+
+
+@settings(max_examples=40, deadline=None)
+@given(schedule=_arrival_schedule())
+def test_accounting_conserved(schedule):
+    """rendered + dropped == delivered frames."""
+    sim = Simulator()
+    buffer = AdaptiveJitterBuffer(sim, PERIOD)
+    for i, (capture, arrival) in enumerate(schedule):
+        frame = _frame(i, capture)
+        sim.at(arrival, lambda f=frame, a=arrival: buffer.on_frame(
+            f, _assembly(f.frame_id, a)))
+    sim.run_until(schedule[-1][1] + 2_000_000)
+    assert buffer.frames_rendered + buffer.frames_dropped_late == len(schedule)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    renders=st.lists(st.integers(min_value=0, max_value=5_000_000),
+                     min_size=2, max_size=50, unique=True),
+)
+def test_screen_capture_sees_subset_of_rendered_frames(renders):
+    renders = sorted(renders)
+    frames = [_frame(i, 0) for i in range(len(renders))]
+    for frame, t in zip(frames, renders):
+        frame.rendered_us = t
+    obs = capture_screen(frames, renders[0], renders[-1] + 100_000)
+    seen = obs.frames_seen()
+    # The screen can only show frames that rendered, in order.
+    assert seen == sorted(seen)
+    assert set(seen) <= set(range(len(renders)))
+    # Total sampled display time equals the observation span.
+    total = sum(d for _, d in obs.display_durations_us())
+    assert total == len([s for s in obs.samples
+                         if s.frame_id is not None]) * 14_286

@@ -1,0 +1,137 @@
+"""Tests for QoE metric computation (Fig 7's metrics)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.media import (
+    cdf,
+    frame_level_jitter_ms,
+    frame_rate_series,
+    percentile,
+    qoe_summary,
+    ssim_from_bpp,
+    windowed_receive_bitrate_kbps,
+)
+from repro.trace import CapturePoint, FrameRecord, MediaKind, PacketRecord
+
+
+def _packet(pid, size, receiver_us):
+    p = PacketRecord(packet_id=pid, flow_id="v", kind=MediaKind.VIDEO,
+                     size_bytes=size)
+    p.set_capture(CapturePoint.RECEIVER, receiver_us)
+    return p
+
+
+def _frame(fid, capture_us, rendered_us, ssim=0.85, stream="video"):
+    return FrameRecord(frame_id=fid, stream=stream, capture_us=capture_us,
+                       encode_done_us=capture_us, size_bytes=1_000,
+                       rendered_us=rendered_us, ssim=ssim)
+
+
+class TestSsimModel:
+    def test_monotone_in_bpp(self):
+        values = [ssim_from_bpp(b) for b in np.linspace(0.01, 0.5, 20)]
+        assert all(a <= b for a, b in zip(values, values[1:]))
+
+    def test_saturates_below_one(self):
+        assert ssim_from_bpp(10.0) < 1.0
+
+    def test_floor(self):
+        assert ssim_from_bpp(0.0) >= 0.40
+
+    def test_operating_range_matches_fig7d(self):
+        # 300-1200 kbps at 360p, 28 fps -> SSIM roughly 0.80-0.89.
+        for kbps in (300, 600, 1_200):
+            bpp = kbps * 1_000 / 28 / (640 * 360)
+            assert 0.78 <= ssim_from_bpp(bpp) <= 0.90
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            ssim_from_bpp(-0.1)
+
+    @given(st.floats(min_value=0, max_value=10, allow_nan=False))
+    def test_always_in_unit_range(self, bpp):
+        assert 0.0 < ssim_from_bpp(bpp) < 1.0
+
+
+class TestBitrateWindows:
+    def test_constant_stream(self):
+        packets = [
+            _packet(i, 1_250, i * 100_000) for i in range(30)
+        ]  # 1250 B every 100 ms = 100 kbps
+        series = windowed_receive_bitrate_kbps(packets)
+        assert np.median(series) == pytest.approx(100.0, rel=0.1)
+
+    def test_empty(self):
+        assert windowed_receive_bitrate_kbps([]) == []
+
+    def test_non_media_ignored(self):
+        p = PacketRecord(packet_id=1, flow_id="x", kind=MediaKind.PROBE,
+                         size_bytes=64)
+        p.set_capture(CapturePoint.RECEIVER, 0)
+        assert windowed_receive_bitrate_kbps([p]) == []
+
+
+class TestFrameJitter:
+    def test_smooth_stream_zero_jitter(self):
+        frames = [_frame(i, i * 35_714, i * 35_714 + 50_000) for i in range(20)]
+        jitter = frame_level_jitter_ms(frames)
+        assert max(jitter) == pytest.approx(0.0, abs=0.01)
+
+    def test_jittery_stream_measured(self):
+        frames = [
+            _frame(i, i * 35_714, i * 35_714 + 50_000 + (i % 2) * 10_000)
+            for i in range(20)
+        ]
+        jitter = frame_level_jitter_ms(frames)
+        assert np.median(jitter) == pytest.approx(10.0, abs=0.5)
+
+    def test_unrendered_frames_skipped(self):
+        frames = [_frame(1, 0, None), _frame(2, 35_714, 90_000)]
+        assert frame_level_jitter_ms(frames) == []
+
+
+class TestFrameRate:
+    def test_counts_rendered_per_second(self):
+        frames = [_frame(i, i * 35_714, i * 35_714 + 50_000) for i in range(56)]
+        series = frame_rate_series(frames)
+        assert series[0] == pytest.approx(28.0, rel=0.1)
+
+    def test_audio_not_counted(self):
+        frames = [_frame(i, i * 20_000, i * 20_000 + 10_000, stream="audio")
+                  for i in range(50)]
+        assert frame_rate_series(frames) == []
+
+
+class TestQoeSummary:
+    def test_bundles_all_metrics(self):
+        packets = [_packet(i, 1_250, i * 10_000) for i in range(200)]
+        frames = [_frame(i, i * 35_714, i * 35_714 + 50_000) for i in range(56)]
+        frames[5].stalled = True
+        summary = qoe_summary(packets, frames)
+        assert summary.stall_count == 1
+        assert summary.mean_frame_delay_ms == pytest.approx(50.0, abs=0.1)
+        medians = summary.medians()
+        assert set(medians) == {"bitrate_kbps", "jitter_ms", "fps", "ssim"}
+
+    def test_empty_inputs(self):
+        summary = qoe_summary([], [])
+        assert summary.stall_count == 0
+        assert np.isnan(summary.mean_frame_delay_ms)
+
+
+class TestHelpers:
+    def test_cdf(self):
+        xs, ps = cdf([3.0, 1.0, 2.0])
+        assert list(xs) == [1.0, 2.0, 3.0]
+        assert list(ps) == pytest.approx([1 / 3, 2 / 3, 1.0])
+
+    def test_cdf_empty(self):
+        xs, ps = cdf([])
+        assert len(xs) == 0 and len(ps) == 0
+
+    def test_percentile(self):
+        assert percentile(list(range(101)), 95) == pytest.approx(95.0)
+        assert np.isnan(percentile([], 50))

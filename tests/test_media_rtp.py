@@ -1,0 +1,131 @@
+"""Tests for RTP packetization and frame reassembly."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.media import DEFAULT_MTU_PAYLOAD, FrameReassembler, RtpPacketizer
+from repro.net.packet import RTP_OVERHEAD
+from repro.trace import MediaKind
+
+
+def _packetizer(**kwargs):
+    return RtpPacketizer("video", MediaKind.VIDEO, **kwargs)
+
+
+class TestPacketizer:
+    def test_small_frame_is_one_packet(self):
+        packets = _packetizer().packetize(1, 0, 500, 0)
+        assert len(packets) == 1
+        assert packets[0].rtp.marker
+        assert packets[0].size_bytes == 500 + RTP_OVERHEAD
+
+    def test_large_frame_splits_at_mtu(self):
+        packets = _packetizer().packetize(1, 2, 4_000, 0)
+        assert len(packets) == 4  # 1100*3 + 700
+        payloads = [p.size_bytes - RTP_OVERHEAD for p in packets]
+        assert payloads == [1_100, 1_100, 1_100, 700]
+        assert [p.rtp.marker for p in packets] == [False, False, False, True]
+
+    def test_sequence_numbers_continuous_across_frames(self):
+        packer = _packetizer()
+        a = packer.packetize(1, 0, 2_500, 0)
+        b = packer.packetize(2, 0, 500, 35_714)
+        seqs = [p.rtp.seq for p in a + b]
+        assert seqs == list(range(len(seqs)))
+
+    def test_layer_and_frame_id_propagated(self):
+        packets = _packetizer().packetize(7, 2, 3_000, 0)
+        assert all(p.rtp.frame_id == 7 and p.rtp.layer_id == 2 for p in packets)
+
+    def test_rtp_timestamp_is_90khz(self):
+        packets = _packetizer().packetize(1, 0, 500, 1_000_000)  # 1 s
+        assert packets[0].rtp.timestamp == 90_000
+
+    def test_rejects_empty_frame(self):
+        with pytest.raises(ValueError):
+            _packetizer().packetize(1, 0, 0, 0)
+
+    @given(size=st.integers(min_value=1, max_value=50_000))
+    def test_payload_bytes_conserved(self, size):
+        packets = _packetizer().packetize(1, 0, size, 0)
+        total = sum(p.size_bytes - RTP_OVERHEAD for p in packets)
+        assert total == size
+        assert sum(1 for p in packets if p.rtp.marker) == 1
+        assert packets[-1].rtp.marker
+
+
+class TestReassembler:
+    def _roundtrip(self, packets, order=None):
+        done = []
+        reasm = FrameReassembler(done.append)
+        order = order or range(len(packets))
+        for i, idx in enumerate(order):
+            reasm.on_packet(packets[idx], arrival_us=1_000 * (i + 1))
+        return done, reasm
+
+    def test_in_order_completion(self):
+        packets = _packetizer().packetize(1, 0, 4_000, 0)
+        done, reasm = self._roundtrip(packets)
+        assert len(done) == 1
+        assembly = done[0]
+        assert assembly.frame_id == 1
+        assert assembly.received_count == 4
+        assert assembly.first_arrival_us == 1_000
+        assert assembly.last_arrival_us == 4_000
+        assert assembly.spread_us() == 3_000
+
+    def test_out_of_order_completion(self):
+        packets = _packetizer().packetize(1, 0, 4_000, 0)
+        done, _ = self._roundtrip(packets, order=[3, 0, 2, 1])
+        assert len(done) == 1
+
+    def test_missing_packet_blocks_completion(self):
+        packets = _packetizer().packetize(1, 0, 4_000, 0)
+        done, reasm = self._roundtrip(packets[:-2] + packets[-1:])
+        assert done == []
+        assert reasm.pending_frames() == 1
+
+    def test_duplicates_counted_not_double_added(self):
+        packets = _packetizer().packetize(1, 0, 2_000, 0)
+        done = []
+        reasm = FrameReassembler(done.append)
+        reasm.on_packet(packets[0], 1_000)
+        reasm.on_packet(packets[0], 1_500)
+        reasm.on_packet(packets[1], 2_000)
+        assert len(done) == 1
+        assert reasm.duplicate_packets == 1
+        assert done[0].received_count == 2
+
+    def test_interleaved_frames(self):
+        packer = _packetizer()
+        f1 = packer.packetize(1, 0, 2_200, 0)
+        f2 = packer.packetize(2, 0, 2_200, 35_714)
+        done = []
+        reasm = FrameReassembler(done.append)
+        for i, p in enumerate([f1[0], f2[0], f1[1], f2[1]]):
+            reasm.on_packet(p, 1_000 * i)
+        assert [a.frame_id for a in done] == [1, 2]
+
+    def test_packet_without_rtp_rejected(self):
+        from repro.trace import PacketRecord
+
+        reasm = FrameReassembler(lambda a: None)
+        bare = PacketRecord(packet_id=1, flow_id="x", kind=MediaKind.VIDEO,
+                            size_bytes=100)
+        with pytest.raises(ValueError):
+            reasm.on_packet(bare, 0)
+
+    @given(
+        size=st.integers(min_value=1, max_value=20_000),
+        seed=st.integers(min_value=0, max_value=1_000),
+    )
+    def test_any_arrival_order_completes(self, size, seed):
+        import random
+
+        packets = _packetizer().packetize(1, 0, size, 0)
+        order = list(range(len(packets)))
+        random.Random(seed).shuffle(order)
+        done, _ = self._roundtrip(packets, order)
+        assert len(done) == 1
+        assert done[0].received_count == len(packets)

@@ -1,0 +1,75 @@
+"""Tests for the screen-capture observer (the paper's QR methodology)."""
+
+import pytest
+
+from repro.app import ScenarioConfig, run_session
+from repro.media import capture_screen
+from repro.media.svc import CAPTURE_SLOT_US
+from repro.sim import seconds
+from repro.trace import FrameRecord
+
+
+def _frame(fid, rendered_us):
+    return FrameRecord(frame_id=fid, stream="video", capture_us=0,
+                       encode_done_us=0, size_bytes=1_000,
+                       rendered_us=rendered_us)
+
+
+class TestSyntheticTimeline:
+    def test_steady_28fps_observed(self):
+        frames = [_frame(i, i * 35_714) for i in range(100)]
+        obs = capture_screen(frames, 0, 99 * 35_714)
+        assert obs.observed_fps() == pytest.approx(28.0, rel=0.05)
+        assert obs.stalls(CAPTURE_SLOT_US) == 0
+
+    def test_freeze_detected_as_stall(self):
+        frames = [_frame(i, i * 35_714) for i in range(20)]
+        frames.append(_frame(20, 19 * 35_714 + 400_000))  # 400 ms freeze
+        obs = capture_screen(frames, 0, 19 * 35_714 + 500_000)
+        assert obs.stalls(CAPTURE_SLOT_US) >= 1
+
+    def test_frames_seen_in_order(self):
+        frames = [_frame(i, i * 35_714) for i in range(10)]
+        obs = capture_screen(frames, 0, 9 * 35_714)
+        assert obs.frames_seen() == sorted(obs.frames_seen())
+
+    def test_durations_quantized_to_sample_grid(self):
+        frames = [_frame(i, i * 35_714) for i in range(10)]
+        obs = capture_screen(frames, 0, 9 * 35_714)
+        for _fid, duration in obs.display_durations_us():
+            assert duration % 14_286 == 0
+
+    def test_blank_screen_before_first_frame(self):
+        frames = [_frame(1, 1_000_000)]
+        obs = capture_screen(frames, 0, 2_000_000)
+        assert obs.samples[0].frame_id is None
+
+    def test_fast_frames_undersampled(self):
+        # Frames faster than the screen-capture rate: some are never seen
+        # (the paper's 70 fps bound on observability).
+        frames = [_frame(i, i * 5_000) for i in range(200)]  # 200 fps
+        obs = capture_screen(frames, 0, 199 * 5_000)
+        assert obs.observed_fps() < 80.0
+
+
+class TestAgainstRenderer:
+    def test_screen_fps_matches_renderer_accounting(self):
+        result = run_session(ScenarioConfig(duration_s=10.0, seed=3,
+                                            record_tbs=False))
+        obs = capture_screen(result.trace.frames, seconds(1.0), seconds(9.0))
+        rendered = [
+            f for f in result.trace.frames
+            if f.stream == "video" and f.rendered_us is not None
+            and seconds(1.0) <= f.rendered_us < seconds(9.0)
+        ]
+        renderer_fps = len(rendered) / 8.0
+        assert obs.observed_fps() == pytest.approx(renderer_fps, rel=0.1)
+
+    def test_screen_stalls_consistent_with_renderer(self):
+        result = run_session(ScenarioConfig(duration_s=10.0, seed=3,
+                                            record_tbs=False))
+        obs = capture_screen(result.trace.frames, 0, seconds(10.0))
+        renderer_stalls = result.receiver.jitter_buffer.stalls
+        # The sampled observer sees at least as much as the renderer flags
+        # minus boundary effects.
+        assert abs(obs.stalls(CAPTURE_SLOT_US) - renderer_stalls) <= 3

@@ -1,0 +1,71 @@
+"""Tests for SVC temporal layering (Fig 8's operating points)."""
+
+import pytest
+
+from repro.media import (
+    CAPTURE_SLOT_US,
+    FpsMode,
+    SvcLayer,
+    frame_period_us,
+    layer_for_slot,
+    layers_active,
+    nominal_fps,
+)
+
+
+def _sent_per_cycle(mode):
+    return [layer_for_slot(mode, i) for i in range(4)]
+
+
+def test_full_mode_sends_every_slot():
+    layers = _sent_per_cycle(FpsMode.FULL)
+    assert None not in layers
+    assert layers.count(SvcLayer.BASE) == 2
+    assert layers.count(SvcLayer.HIGH_FPS_ENH) == 2
+
+
+def test_full_mode_fps_is_28():
+    assert nominal_fps(FpsMode.FULL) == 28.0
+    # 4 frames per 4-slot cycle at the 28 fps capture clock.
+    sent = sum(1 for layer in _sent_per_cycle(FpsMode.FULL) if layer is not None)
+    assert sent / (4 * CAPTURE_SLOT_US / 1e6) == pytest.approx(28.0, rel=0.01)
+
+
+def test_skip_mode_drops_one_enhancement_per_cycle():
+    layers = _sent_per_cycle(FpsMode.SKIP)
+    assert layers.count(None) == 1
+    assert nominal_fps(FpsMode.SKIP) == 21.0  # "rates around 20 fps"
+
+
+def test_low_mode_uses_low_fps_enhancement_identifier():
+    # "When the target frame rate is 14 fps, Zoom uses a different
+    # identifier for the enhancement layer."
+    layers = layers_active(FpsMode.LOW)
+    assert layers == {SvcLayer.BASE, SvcLayer.LOW_FPS_ENH}
+    assert SvcLayer.HIGH_FPS_ENH not in layers
+    assert nominal_fps(FpsMode.LOW) == 14.0
+
+
+def test_base_mode_is_7fps_base_only():
+    assert layers_active(FpsMode.BASE) == {SvcLayer.BASE}
+    assert nominal_fps(FpsMode.BASE) == 7.0
+
+
+def test_base_layer_rate_is_7fps_in_every_mode():
+    # The base layer ticks at 7 fps regardless of mode (dyadic hierarchy).
+    for mode in (FpsMode.SKIP, FpsMode.LOW, FpsMode.BASE):
+        base_slots = [
+            i for i in range(4) if layer_for_slot(mode, i) == SvcLayer.BASE
+        ]
+        assert len(base_slots) in (1, 2)
+
+
+def test_pattern_repeats():
+    for mode in FpsMode:
+        for i in range(4):
+            assert layer_for_slot(mode, i) == layer_for_slot(mode, i + 4)
+
+
+def test_frame_period_matches_fps():
+    assert frame_period_us(FpsMode.FULL) == pytest.approx(1e6 / 28, abs=1)
+    assert frame_period_us(FpsMode.LOW) == pytest.approx(1e6 / 14, abs=1)

@@ -1,0 +1,152 @@
+"""Tests for RAN-aware GCC masking (§5.3) and L4S signalling."""
+
+import pytest
+
+from repro.cc import GccConfig, GccEstimator, PacketArrival
+from repro.mitigation import (
+    EcnMarker,
+    L4sRateController,
+    RanAwareGcc,
+    compare_masking,
+    sojourn_of,
+)
+from repro.sim import ms
+from repro.trace import MediaKind, PacketRecord, RanPacketTelemetry
+
+
+def _ran_jittered_arrivals(n=600):
+    """Frame bursts whose packets trickle out in 2.5 ms steps (the §3.1
+    delay spread), occasionally +10 ms from HARQ — annotated with exactly
+    that delay in telemetry.  This is the Fig 10 arrival pattern."""
+    arrivals = []
+    pid = 0
+    frame = 0
+    while pid < n:
+        frame_send = frame * 35_714
+        for j in range(5):  # 5-packet burst, one frame
+            ran_delay = (j // 2) * 2_500  # 1-2 packets per proactive TB
+            if frame % 9 == 0 and j >= 3:
+                ran_delay += 10_000  # HARQ round on the tail TB
+            send = frame_send + j * 30
+            arrivals.append(
+                PacketArrival(
+                    packet_id=pid,
+                    send_us=send,
+                    arrival_us=send + 20_000 + ran_delay,
+                    size_bytes=1_200,
+                    ran_induced_us=ran_delay,
+                )
+            )
+            pid += 1
+        frame += 1
+    return arrivals
+
+
+class TestRanAwareGcc:
+    def test_masking_flattens_arrivals(self):
+        masked = RanAwareGcc(GccConfig(burst_time_us=0))
+        for a in _ran_jittered_arrivals():
+            masked.on_packet(a)
+        grads = [abs(s.filtered_gradient) for s in masked.history.samples]
+        assert max(grads) < 0.01  # after masking the path looks constant
+
+    def test_vanilla_gradient_noisier_than_masked(self):
+        import numpy as np
+
+        vanilla = GccEstimator(GccConfig(burst_time_us=0))
+        masked = RanAwareGcc(GccConfig(burst_time_us=0))
+        for a in _ran_jittered_arrivals():
+            vanilla.on_packet(a)
+            masked.on_packet(a)
+        vanilla_std = np.std([s.filtered_gradient
+                              for s in vanilla.history.samples])
+        masked_std = np.std([s.filtered_gradient
+                             for s in masked.history.samples])
+        assert vanilla_std > 10 * masked_std
+
+    def test_compare_masking_never_worse(self):
+        comparison = compare_masking(
+            _ran_jittered_arrivals(2_000), GccConfig(burst_time_us=0)
+        )
+        assert comparison.samples > 1_000
+        assert comparison.masked_overuse_count <= comparison.vanilla_overuse_count
+        assert comparison.masked_overuse_fraction <= comparison.vanilla_overuse_fraction
+
+    def test_mask_counters(self):
+        masked = RanAwareGcc()
+        arrivals = _ran_jittered_arrivals(100)
+        for a in arrivals:
+            masked.on_packet(a)
+        expected = sum(1 for a in arrivals if a.ran_induced_us > 0)
+        assert masked.packets_masked == expected
+
+    def test_rate_estimate_delegates(self):
+        masked = RanAwareGcc()
+        assert masked.estimated_rate_kbps() == GccConfig().initial_rate_kbps
+
+
+def _packet_with_sojourn(sojourn_us, sched_us=0, harq_us=0):
+    p = PacketRecord(packet_id=1, flow_id="v", kind=MediaKind.VIDEO,
+                     size_bytes=1_000)
+    p.ran = RanPacketTelemetry(
+        enqueue_us=0, delivered_us=sojourn_us,
+        sched_wait_us=sched_us, harq_delay_us=harq_us,
+    )
+    return p
+
+
+class TestEcnMarker:
+    def test_marks_above_threshold(self):
+        marker = EcnMarker(threshold_us=ms(5.0))
+        assert marker.mark(_packet_with_sojourn(ms(8.0)), ms(8.0))
+        assert not marker.mark(_packet_with_sojourn(ms(2.0)), ms(2.0))
+        assert marker.mark_fraction == 0.5
+
+    def test_exclude_ran_artifacts(self):
+        marker = EcnMarker(threshold_us=ms(5.0), exclude_ran_artifacts=True)
+        # 8 ms sojourn, but 2.5 ms scheduling + 10 ms HARQ... only the
+        # residual counts (here negative -> clamped to 0): not marked.
+        packet = _packet_with_sojourn(ms(8.0), sched_us=ms(2.5),
+                                      harq_us=ms(10.0))
+        assert not marker.mark(packet, ms(8.0))
+
+    def test_ce_bit_set_on_packet(self):
+        marker = EcnMarker(threshold_us=0)
+        packet = _packet_with_sojourn(ms(5.0))
+        marker.mark(packet, ms(5.0))
+        assert packet.__dict__.get("ecn_ce") is True
+
+
+class TestL4sController:
+    def test_no_marks_additive_increase(self):
+        ctl = L4sRateController(initial_rate_kbps=500)
+        for _ in range(10):
+            ctl.on_packet_feedback(False)
+        rate = ctl.update_rate()
+        assert rate > 500
+
+    def test_marks_cause_proportional_decrease(self):
+        ctl = L4sRateController(initial_rate_kbps=500)
+        for _ in range(10):
+            ctl.on_packet_feedback(True)
+        for _ in range(5):
+            ctl.update_rate()
+            for _ in range(10):
+                ctl.on_packet_feedback(True)
+        assert ctl.rate_kbps < 500
+        assert ctl.alpha > 0.2
+
+    def test_rate_bounds(self):
+        ctl = L4sRateController(initial_rate_kbps=60, min_rate_kbps=50)
+        ctl.alpha = 1.0
+        for _ in range(50):
+            ctl.update_rate()
+        assert ctl.rate_kbps == 50
+
+
+def test_sojourn_helper():
+    p = _packet_with_sojourn(ms(7.0))
+    assert sojourn_of(p) == ms(7.0)
+    bare = PacketRecord(packet_id=2, flow_id="v", kind=MediaKind.VIDEO,
+                        size_bytes=10)
+    assert sojourn_of(bare) == 0

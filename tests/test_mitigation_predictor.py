@@ -1,0 +1,89 @@
+"""Tests for the traffic-pattern learning predictor (§5.2)."""
+
+import pytest
+
+from repro.mitigation import MediaSchedule, PeriodicityPredictor
+from repro.sim import ms
+
+
+def _feed_frames(predictor, n=20, period_us=35_714, start_us=1_000,
+                 packets_per_frame=4, packet_bytes=1_148):
+    for k in range(n):
+        t = start_us + k * period_us
+        for j in range(packets_per_frame):
+            predictor.observe(t + j * 30, packet_bytes)
+
+
+def test_learns_period_and_size():
+    predictor = PeriodicityPredictor()
+    _feed_frames(predictor, n=20)
+    predictor.observe(1_000 + 20 * 35_714, 1_148)  # open the next burst
+    est = predictor.estimate()
+    assert est is not None
+    next_burst, period, size = est
+    assert period == pytest.approx(35_714, abs=5)
+    assert size == pytest.approx(4 * 1_148, rel=0.05)
+
+
+def test_phase_tracks_last_burst():
+    predictor = PeriodicityPredictor()
+    _feed_frames(predictor, n=10)
+    predictor.observe(1_000 + 10 * 35_714, 1_148)
+    next_burst, period, _ = predictor.estimate()
+    # Next burst predicted one period after the most recent frame burst.
+    assert (next_burst - 1_000) % 35_714 == pytest.approx(0, abs=5)
+
+
+def test_unsure_until_enough_bursts():
+    predictor = PeriodicityPredictor(min_observations=4)
+    _feed_frames(predictor, n=2)
+    assert predictor.estimate() is None
+
+
+def test_audio_packets_do_not_corrupt_phase():
+    predictor = PeriodicityPredictor()
+    # Video frames every 35.714 ms + audio every 20 ms (200 B).
+    for k in range(30):
+        t = 1_000 + k * 35_714
+        for j in range(4):
+            predictor.observe(t + j * 30, 1_148)
+    for k in range(53):
+        predictor.observe(500 + k * 20_000, 220)
+    predictor.observe(1_000 + 30 * 35_714, 1_148)
+    _, period, size = predictor.estimate()
+    assert period == pytest.approx(35_714, abs=10)
+    assert size > 3_000  # audio did not dilute the frame-size estimate
+
+
+def test_skipped_frames_tolerated_by_median():
+    predictor = PeriodicityPredictor()
+    t = 1_000
+    for k in range(30):
+        gap = 35_714 if k % 5 else 2 * 35_714  # every 5th frame skipped
+        for j in range(4):
+            predictor.observe(t + j * 30, 1_148)
+        t += gap
+    predictor.observe(t, 1_148)
+    _, period, _ = predictor.estimate()
+    assert period == pytest.approx(35_714, abs=10)
+
+
+def test_refresh_schedule_updates_fields():
+    predictor = PeriodicityPredictor()
+    _feed_frames(predictor, n=20)
+    predictor.observe(1_000 + 20 * 35_714, 1_148)
+    schedule = MediaSchedule(next_frame_us=0, frame_period_us=ms(33.0),
+                             frame_size_bytes=100)
+    now = 1_000 + 21 * 35_714
+    assert predictor.refresh_schedule(schedule, now)
+    assert schedule.frame_period_us == pytest.approx(35_714, abs=5)
+    assert schedule.frame_size_bytes > 4_000
+    assert schedule.next_frame_us > now
+
+
+def test_refresh_schedule_false_when_unsure():
+    predictor = PeriodicityPredictor()
+    schedule = MediaSchedule(next_frame_us=0, frame_period_us=ms(33.0),
+                             frame_size_bytes=100)
+    assert not predictor.refresh_schedule(schedule, 0)
+    assert schedule.frame_size_bytes == 100  # untouched

@@ -1,0 +1,148 @@
+"""Tests for links: DelayLink, ProcessingNode, EmulatedLink."""
+
+import numpy as np
+import pytest
+
+from repro.net import DelayLink, EmulatedLink, ProcessingNode
+from repro.sim import Simulator, ms, seconds
+from repro.trace import MediaKind, PacketRecord
+from repro.trace.schema import new_packet_id
+
+
+def _packet(size=1_000):
+    return PacketRecord(packet_id=new_packet_id(), flow_id="f",
+                        kind=MediaKind.VIDEO, size_bytes=size)
+
+
+class TestDelayLink:
+    def test_fixed_delay(self):
+        sim = Simulator()
+        link = DelayLink(sim, base_delay_us=ms(10.0))
+        arrivals = []
+        sim.at(ms(1.0), lambda: link.send(_packet(), lambda p, t: arrivals.append(t)))
+        sim.run_until(ms(50.0))
+        assert arrivals == [ms(11.0)]
+
+    def test_fifo_preserved_under_jitter(self):
+        sim = Simulator()
+        rng = np.random.default_rng(0)
+        link = DelayLink(sim, ms(5.0), jitter_std_us=2_000.0, rng=rng)
+        order = []
+        for i in range(50):
+            sim.at(i * 100, lambda i=i: link.send(
+                _packet(), lambda p, t, i=i: order.append((t, i))))
+        sim.run_until(seconds(1.0))
+        assert order == sorted(order)  # arrival times non-decreasing, in order
+
+    def test_loss(self):
+        sim = Simulator()
+        rng = np.random.default_rng(0)
+        link = DelayLink(sim, ms(1.0), loss_rate=0.5, rng=rng)
+        arrivals = []
+        for i in range(400):
+            sim.at(i * 100, lambda: link.send(
+                _packet(), lambda p, t: arrivals.append(t)))
+        sim.run_until(seconds(1.0))
+        assert link.packets_lost == pytest.approx(200, rel=0.2)
+        assert len(arrivals) == 400 - link.packets_lost
+
+    def test_requires_rng_for_jitter(self):
+        with pytest.raises(ValueError):
+            DelayLink(Simulator(), ms(1.0), jitter_std_us=100.0)
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            DelayLink(Simulator(), -1)
+        with pytest.raises(ValueError):
+            DelayLink(Simulator(), 0, loss_rate=1.5,
+                      rng=np.random.default_rng(0))
+
+
+class TestProcessingNode:
+    def test_adds_positive_service_time(self):
+        sim = Simulator()
+        node = ProcessingNode(sim, np.random.default_rng(0), base_us=800)
+        done = []
+        sim.at(0, lambda: node.process(_packet(), lambda p, t: done.append(t)))
+        sim.run_until(ms(100.0))
+        assert done and done[0] >= 800
+
+    def test_tail_produces_occasional_long_delays(self):
+        sim = Simulator()
+        node = ProcessingNode(sim, np.random.default_rng(1),
+                              base_us=800, tail_prob=0.2, tail_mean_us=20_000)
+        delays = []
+        # Space packets far apart so FIFO queueing does not mix with the
+        # per-packet service-time distribution.
+        for i in range(300):
+            sim.at(i * ms(50.0), lambda s=i * ms(50.0): node.process(
+                _packet(), lambda p, t, s=s: delays.append(t - s)))
+        sim.run_until(seconds(30.0))
+        assert max(delays) > 10_000  # heavy tail present
+        assert np.median(delays) < 3_000  # but the typical case is small
+
+    def test_fifo(self):
+        sim = Simulator()
+        node = ProcessingNode(sim, np.random.default_rng(2), tail_prob=0.5,
+                              tail_mean_us=20_000)
+        order = []
+        for i in range(50):
+            sim.at(i * 100, lambda i=i: node.process(
+                _packet(), lambda p, t, i=i: order.append((t, i))))
+        sim.run_until(seconds(5.0))
+        assert order == sorted(order)
+
+
+class TestEmulatedLink:
+    def test_fixed_latency_applied(self):
+        sim = Simulator()
+        link = EmulatedLink(sim, rate_kbps=10_000, latency_us=ms(15.0))
+        arrivals = []
+        sim.at(0, lambda: link.send(_packet(1_250), lambda p, t: arrivals.append(t)))
+        sim.run_until(ms(100.0))
+        # 1250 B at 10 Mbps = 1 ms serialization + 15 ms latency.
+        assert arrivals[0] == pytest.approx(ms(16.0), abs=200)
+
+    def test_shaping_rate(self):
+        sim = Simulator()
+        rate = 5_000.0  # kbps
+        link = EmulatedLink(sim, rate_kbps=rate, latency_us=0)
+        arrivals = []
+        n = 100
+
+        def burst():
+            for _ in range(n):
+                link.send(_packet(1_250), lambda p, t: arrivals.append(t))
+
+        sim.at(0, burst)
+        sim.run_until(seconds(10.0))
+        assert len(arrivals) == n
+        # n*1250 bytes at 5 Mbps should take ~0.2 s.
+        assert arrivals[-1] == pytest.approx(seconds(0.2), rel=0.05)
+
+    def test_queue_overflow_drops(self):
+        sim = Simulator()
+        link = EmulatedLink(sim, rate_kbps=100, queue_limit_bytes=5_000)
+        delivered = []
+
+        def burst():
+            for _ in range(100):
+                link.send(_packet(1_000), lambda p, t: delivered.append(t))
+
+        sim.at(0, burst)
+        sim.run_until(seconds(2.0))
+        assert link.packets_dropped > 0
+        assert link.packets_sent + link.packets_dropped == 100
+
+    def test_capacity_series_changes_rate(self):
+        sim = Simulator()
+        link = EmulatedLink(
+            sim, rate_kbps=0,
+            capacity_series=[(0, 1_000.0), (seconds(1.0), 10_000.0)],
+        )
+        assert link._rate_at(0) == 1_000.0
+        assert link._rate_at(seconds(2.0)) == 10_000.0
+
+    def test_requires_rate_or_series(self):
+        with pytest.raises(ValueError):
+            EmulatedLink(Simulator(), rate_kbps=0)

@@ -1,0 +1,49 @@
+"""Tests for packet construction helpers."""
+
+from repro.net.packet import (
+    ICMP_PACKET_BYTES,
+    RTP_OVERHEAD,
+    make_feedback_packet,
+    make_probe_packet,
+    make_rtp_packet,
+)
+from repro.trace import MediaKind
+import pytest
+
+
+def test_rtp_packet_size_includes_overhead():
+    p = make_rtp_packet("v", MediaKind.VIDEO, payload_bytes=1_000, ssrc=1,
+                        seq=0, timestamp=0, frame_id=1, layer_id=0,
+                        marker=False)
+    assert p.size_bytes == 1_000 + RTP_OVERHEAD
+    assert p.rtp is not None
+    assert not p.rtp.frame_start
+
+
+def test_rtp_packet_rejects_empty_payload():
+    with pytest.raises(ValueError):
+        make_rtp_packet("v", MediaKind.VIDEO, payload_bytes=0, ssrc=1,
+                        seq=0, timestamp=0, frame_id=1, layer_id=0,
+                        marker=False)
+
+
+def test_probe_packet():
+    p = make_probe_packet(seq=3)
+    assert p.kind == MediaKind.PROBE
+    assert p.size_bytes == ICMP_PACKET_BYTES
+    assert p.rtp is None
+
+
+def test_feedback_packet():
+    p = make_feedback_packet(payload_bytes=100)
+    assert p.kind == MediaKind.FEEDBACK
+    assert p.size_bytes == 100 + 28  # IP + UDP
+
+
+def test_packet_ids_unique_across_helpers():
+    ids = {
+        make_probe_packet(0).packet_id,
+        make_feedback_packet().packet_id,
+        make_rtp_packet("v", MediaKind.VIDEO, 10, 1, 0, 0, 1, 0, True).packet_id,
+    }
+    assert len(ids) == 3

@@ -1,0 +1,141 @@
+"""Tests for the call topology: taps, paths, prober, feedback."""
+
+import numpy as np
+import pytest
+
+from repro.net import CallTopology, EmulatedLink, EmulatedUplink, PathConfig
+from repro.net.packet import make_feedback_packet, make_rtp_packet
+from repro.net.topology import RanUplink
+from repro.phy import FixedChannel, RanConfig, RanSimulator
+from repro.sim import RngStreams, Simulator, ms, seconds
+from repro.trace import CapturePoint, MediaKind
+
+
+def _video_packet(seq=0):
+    return make_rtp_packet(
+        flow_id="video", kind=MediaKind.VIDEO, payload_bytes=1_000,
+        ssrc=1, seq=seq, timestamp=0, frame_id=1, layer_id=0, marker=True,
+    )
+
+
+def _emulated_topology(sim, **path_overrides):
+    uplink = EmulatedUplink(EmulatedLink(sim, rate_kbps=20_000,
+                                         latency_us=ms(15.0)))
+    return CallTopology(
+        sim, uplink, rng=np.random.default_rng(0),
+        config=PathConfig(**path_overrides),
+    )
+
+
+def test_all_taps_stamped_in_causal_order():
+    sim = Simulator()
+    topo = _emulated_topology(sim)
+    received = []
+    topo.on_media_arrival = lambda p, t: received.append(p)
+    packet = _video_packet()
+    sim.at(ms(1.0), lambda: topo.send_media(packet))
+    sim.run_until(seconds(1.0))
+    assert received == [packet]
+    taps = [CapturePoint.SENDER, CapturePoint.CORE, CapturePoint.SFU,
+            CapturePoint.RECEIVER]
+    times = [packet.capture_at(t) for t in taps]
+    assert None not in times
+    assert times == sorted(times)
+    assert times[0] == ms(1.0)
+
+
+def test_media_packets_recorded_in_trace():
+    sim = Simulator()
+    topo = _emulated_topology(sim)
+    packet = _video_packet()
+    sim.at(0, lambda: topo.send_media(packet))
+    sim.run_until(seconds(1.0))
+    assert topo.trace.packets == [packet]
+
+
+def test_feedback_not_recorded_as_media():
+    sim = Simulator()
+    topo = _emulated_topology(sim)
+    sim.at(0, lambda: topo.send_feedback(make_feedback_packet()))
+    sim.run_until(seconds(1.0))
+    assert topo.trace.packets == []
+
+
+def test_feedback_reaches_sender_wired():
+    sim = Simulator()
+    topo = _emulated_topology(sim)
+    got = []
+    topo.on_feedback_arrival = lambda p, t: got.append(t)
+    sim.at(0, lambda: topo.send_feedback(make_feedback_packet()))
+    sim.run_until(seconds(1.0))
+    assert len(got) == 1
+    assert got[0] >= ms(30.0)  # wan + return latency
+
+
+def test_feedback_via_ran_downlink():
+    sim = Simulator()
+    ran = RanSimulator(sim, RanConfig(base_bler=0.0), RngStreams(0))
+    ran.add_ue(1, channel=FixedChannel(20, 0.0))
+    uplink = RanUplink(ran, 1)
+    topo = CallTopology(
+        sim, uplink, rng=np.random.default_rng(0),
+        ran_for_feedback=ran, feedback_ue_id=1,
+    )
+    got = []
+    topo.on_feedback_arrival = lambda p, t: got.append(t)
+    sim.at(0, lambda: topo.send_feedback(make_feedback_packet()))
+    sim.run_until(seconds(1.0))
+    assert len(got) == 1
+
+
+def test_prober_records_probes_every_20ms():
+    sim = Simulator()
+    topo = _emulated_topology(sim)
+    topo.start_prober()
+    sim.run_until(seconds(1.0))
+    assert len(topo.trace.probes) == pytest.approx(50, abs=2)
+    answered = [p for p in topo.trace.probes if p.received_us is not None]
+    assert len(answered) >= 45
+    owds = [p.owd_us() / 2 for p in answered]
+    # Probe path skips the SFU: OWD ~ one WAN leg (10 ms).
+    assert ms(9.0) <= np.median(owds) <= ms(12.0)
+
+
+def test_clock_offsets_shift_captures():
+    sim = Simulator()
+    topo = _emulated_topology(
+        sim, clock_offsets_us={"core": 5_000}
+    )
+    packet = _video_packet()
+    sim.at(0, lambda: topo.send_media(packet))
+    sim.run_until(seconds(1.0))
+    # The core's clock runs 5 ms ahead: its stamp exceeds true arrival.
+    sender_t = packet.capture_at(CapturePoint.SENDER)
+    core_t = packet.capture_at(CapturePoint.CORE)
+    assert core_t - sender_t >= ms(15.0) + 5_000
+
+
+def test_media_send_listener_invoked():
+    sim = Simulator()
+    topo = _emulated_topology(sim)
+    seen = []
+    topo.media_send_listeners.append(lambda p, t: seen.append((p.packet_id, t)))
+    packet = _video_packet()
+    sim.at(ms(2.0), lambda: topo.send_media(packet))
+    sim.run_until(ms(10.0))
+    assert seen == [(packet.packet_id, ms(2.0))]
+
+
+def test_5g_uplink_delivers_to_core_tap():
+    sim = Simulator()
+    ran = RanSimulator(sim, RanConfig(base_bler=0.0), RngStreams(0))
+    ran.add_ue(1, channel=FixedChannel(20, 0.0))
+    uplink = RanUplink(ran, 1)
+    topo = CallTopology(sim, uplink, rng=np.random.default_rng(0))
+    packet = _video_packet()
+    sim.at(ms(1.0), lambda: topo.send_media(packet))
+    sim.run_until(seconds(1.0))
+    core_t = packet.capture_at(CapturePoint.CORE)
+    assert core_t is not None
+    # TDD alignment + slot + backhaul: a few ms.
+    assert ms(2.0) <= core_t - ms(1.0) <= ms(8.0)

@@ -1,0 +1,59 @@
+"""Tests for Buffer Status Report quantization (TS 38.321 style table)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.phy import bsr_index, bsr_upper_edge_bytes, quantize_buffer_bytes
+
+
+def test_zero_buffer_is_index_zero():
+    assert bsr_index(0) == 0
+    assert bsr_upper_edge_bytes(0) == 0
+    assert quantize_buffer_bytes(0) == 0
+
+
+def test_small_buffer_is_index_one():
+    assert bsr_index(1) == 1
+    assert bsr_index(10) == 1
+    assert bsr_upper_edge_bytes(1) == 10
+
+
+def test_overflow_index():
+    assert bsr_index(10**9) == 255
+    assert bsr_upper_edge_bytes(255) == 81_338_368
+
+
+def test_negative_rejected():
+    with pytest.raises(ValueError):
+        bsr_index(-1)
+    with pytest.raises(ValueError):
+        bsr_upper_edge_bytes(-1)
+    with pytest.raises(ValueError):
+        bsr_upper_edge_bytes(256)
+
+
+def test_table_is_geometric_and_monotone():
+    edges = [bsr_upper_edge_bytes(i) for i in range(1, 255)]
+    assert all(a < b for a, b in zip(edges, edges[1:]))
+    # The growth ratio is roughly constant (geometric table).
+    ratios = [b / a for a, b in zip(edges[10:50], edges[11:51])]
+    assert max(ratios) / min(ratios) < 1.05
+
+
+@given(st.integers(min_value=1, max_value=81_338_368))
+def test_quantization_covers_buffer(buffer_bytes):
+    granted = quantize_buffer_bytes(buffer_bytes)
+    assert granted >= buffer_bytes
+
+
+@given(st.integers(min_value=100, max_value=80_000_000))
+def test_quantization_overshoot_bounded(buffer_bytes):
+    # Adjacent levels differ by <7%, so the grant overshoots by <10%.
+    granted = quantize_buffer_bytes(buffer_bytes)
+    assert granted <= buffer_bytes * 1.10
+
+
+@given(st.integers(min_value=0, max_value=10**8))
+def test_index_monotone_in_buffer_size(buffer_bytes):
+    assert bsr_index(buffer_bytes) <= bsr_index(buffer_bytes + 1_000)

@@ -1,0 +1,108 @@
+"""Tests for the UE transmission buffer (RLC queue with segmentation)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.phy import UeBuffer
+from repro.trace import MediaKind, PacketRecord
+
+
+def _packet(pid, size):
+    return PacketRecord(packet_id=pid, flow_id="v", kind=MediaKind.VIDEO,
+                        size_bytes=size)
+
+
+def test_empty_buffer():
+    buf = UeBuffer()
+    assert buf.empty and buf.bytes_queued == 0 and len(buf) == 0
+    assert buf.drain(1_000) == []
+
+
+def test_enqueue_accounts_bytes():
+    buf = UeBuffer()
+    buf.enqueue(_packet(1, 700), 0)
+    buf.enqueue(_packet(2, 300), 0)
+    assert buf.bytes_queued == 1_000 and len(buf) == 2
+
+
+def test_drain_whole_packet():
+    buf = UeBuffer()
+    buf.enqueue(_packet(1, 500), 0)
+    segs = buf.drain(1_000)
+    assert len(segs) == 1
+    seg = segs[0]
+    assert seg.taken_bytes == 500
+    assert seg.is_first_segment and seg.is_last_segment
+    assert buf.empty
+
+
+def test_drain_segments_packet_across_calls():
+    buf = UeBuffer()
+    buf.enqueue(_packet(1, 1_000), 0)
+    first = buf.drain(400)[0]
+    assert first.taken_bytes == 400
+    assert first.is_first_segment and not first.is_last_segment
+    middle = buf.drain(400)[0]
+    assert not middle.is_first_segment and not middle.is_last_segment
+    last = buf.drain(400)[0]
+    assert last.taken_bytes == 200
+    assert not last.is_first_segment and last.is_last_segment
+
+
+def test_drain_is_fifo_across_packets():
+    buf = UeBuffer()
+    buf.enqueue(_packet(1, 300), 0)
+    buf.enqueue(_packet(2, 300), 0)
+    segs = buf.drain(450)
+    assert [s.packet.packet_id for s in segs] == [1, 2]
+    assert segs[0].is_last_segment
+    assert segs[1].taken_bytes == 150 and not segs[1].is_last_segment
+
+
+def test_drain_zero_budget():
+    buf = UeBuffer()
+    buf.enqueue(_packet(1, 300), 0)
+    assert buf.drain(0) == []
+    assert buf.bytes_queued == 300
+
+
+def test_drain_negative_budget_rejected():
+    with pytest.raises(ValueError):
+        UeBuffer().drain(-1)
+
+
+def test_enqueue_rejects_empty_packet():
+    with pytest.raises(ValueError):
+        UeBuffer().enqueue(_packet(1, 0), 0)
+
+
+def test_requeue_front_restores_bytes_at_head():
+    buf = UeBuffer()
+    buf.enqueue(_packet(2, 300), 0)
+    buf.requeue_front(_packet(1, 0o700), 100, 0)
+    segs = buf.drain(100)
+    assert segs[0].packet.packet_id == 1
+
+
+@given(
+    sizes=st.lists(st.integers(min_value=1, max_value=5_000), min_size=1,
+                   max_size=30),
+    budgets=st.lists(st.integers(min_value=1, max_value=4_000), min_size=1,
+                     max_size=60),
+)
+def test_bytes_conserved_under_arbitrary_drains(sizes, budgets):
+    buf = UeBuffer()
+    for i, size in enumerate(sizes):
+        buf.enqueue(_packet(i, size), 0)
+    total = sum(sizes)
+    drained = 0
+    finished = set()
+    for budget in budgets:
+        for seg in buf.drain(budget):
+            drained += seg.taken_bytes
+            if seg.is_last_segment:
+                finished.add(seg.packet.packet_id)
+    assert drained + buf.bytes_queued == total
+    # Finished packets are a prefix of the FIFO order.
+    assert finished == set(range(len(finished)))

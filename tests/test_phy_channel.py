@@ -1,0 +1,79 @@
+"""Tests for the channel models."""
+
+import numpy as np
+import pytest
+
+from repro.phy.channel import FixedChannel, GaussMarkovChannel, PhasedChannel
+
+
+def test_fixed_channel_is_time_invariant():
+    ch = FixedChannel(mcs=20, bler=0.1)
+    a = ch.sample(0)
+    b = ch.sample(1_000_000)
+    assert a.mcs == b.mcs == 20
+    assert a.bler == b.bler == 0.1
+
+
+def test_fixed_channel_rejects_bad_bler():
+    with pytest.raises(ValueError):
+        FixedChannel(20, 1.0)
+
+
+def test_phased_channel_switches_at_boundaries():
+    ch = PhasedChannel([(0, 20, 0.08), (10_000, 2, 0.45), (20_000, 20, 0.08)])
+    assert ch.sample(0).mcs == 20
+    assert ch.sample(9_999).bler == 0.08
+    assert ch.sample(10_000).mcs == 2
+    assert ch.sample(15_000).bler == 0.45
+    assert ch.sample(25_000).mcs == 20
+
+
+def test_phased_channel_sorts_phases():
+    ch = PhasedChannel([(10_000, 2, 0.45), (0, 20, 0.08)])
+    assert ch.sample(0).mcs == 20
+
+
+def test_phased_channel_validates():
+    with pytest.raises(ValueError):
+        PhasedChannel([])
+    with pytest.raises(ValueError):
+        PhasedChannel([(0, 20, 1.5)])
+    with pytest.raises(ValueError):
+        PhasedChannel([(0, 99, 0.1)])
+
+
+def test_gauss_markov_snr_stays_near_mean():
+    rng = np.random.default_rng(3)
+    ch = GaussMarkovChannel(rng, mean_snr_db=22.0, sigma_db=3.0)
+    snrs = [ch.sample(t * 2_500).snr_db for t in range(2_000)]
+    assert abs(np.mean(snrs) - 22.0) < 1.0
+    assert 1.5 < np.std(snrs) < 4.5
+
+
+def test_gauss_markov_bler_increases_when_snr_drops():
+    rng = np.random.default_rng(3)
+    ch = GaussMarkovChannel(rng, mean_snr_db=22.0, sigma_db=3.0)
+    samples = [ch.sample(t * 2_500) for t in range(2_000)]
+    low = [s.bler for s in samples if s.snr_db < 19]
+    high = [s.bler for s in samples if s.snr_db > 25]
+    assert np.mean(low) > np.mean(high)
+
+
+def test_gauss_markov_mean_bler_near_target():
+    rng = np.random.default_rng(5)
+    ch = GaussMarkovChannel(rng, target_bler=0.08)
+    blers = [ch.sample(t * 2_500).bler for t in range(4_000)]
+    assert 0.02 < np.mean(blers) < 0.25
+
+
+def test_gauss_markov_same_time_same_state():
+    rng = np.random.default_rng(3)
+    ch = GaussMarkovChannel(rng)
+    a = ch.sample(2_500)
+    b = ch.sample(2_500)  # same slot: process must not advance twice
+    assert a.snr_db == b.snr_db
+
+
+def test_gauss_markov_rejects_bad_correlation():
+    with pytest.raises(ValueError):
+        GaussMarkovChannel(np.random.default_rng(0), correlation=1.0)

@@ -1,0 +1,83 @@
+"""Tests for the cross-traffic generator."""
+
+import pytest
+
+from repro.phy import (
+    CrossTrafficConfig,
+    CrossTrafficPhase,
+    FixedChannel,
+    RanConfig,
+    RanSimulator,
+    attach_cross_traffic,
+)
+from repro.sim import RngStreams, Simulator, seconds
+
+
+def test_phase_lookup():
+    config = CrossTrafficConfig(
+        phases=[
+            CrossTrafficPhase(0, 0.0),
+            CrossTrafficPhase(seconds(10), 14_000.0),
+            CrossTrafficPhase(seconds(20), 18_000.0),
+        ]
+    )
+    assert config.rate_at(0) == 0.0
+    assert config.rate_at(seconds(9.9)) == 0.0
+    assert config.rate_at(seconds(10)) == 14_000.0
+    assert config.rate_at(seconds(25)) == 18_000.0
+
+
+def test_negative_rate_rejected():
+    with pytest.raises(ValueError):
+        CrossTrafficPhase(0, -1.0)
+
+
+def test_idle_phase_generates_nothing():
+    sim = Simulator()
+    ran = RanSimulator(sim, RanConfig(), RngStreams(2))
+    config = CrossTrafficConfig(n_ues=3, phases=[CrossTrafficPhase(0, 0.0)])
+    sources = attach_cross_traffic(sim, ran, config, RngStreams(2).stream("x"))
+    sim.run_until(seconds(2.0))
+    assert all(s.packets_sent == 0 for s in sources)
+
+
+def test_aggregate_rate_approximates_phase_rate():
+    sim = Simulator()
+    ran = RanSimulator(sim, RanConfig(base_bler=0.0), RngStreams(2))
+    rate_kbps = 8_000.0
+    config = CrossTrafficConfig(
+        n_ues=4, phases=[CrossTrafficPhase(0, rate_kbps)]
+    )
+    rngs = RngStreams(2)
+    sources = attach_cross_traffic(sim, ran, config, rngs.stream("x"))
+    duration_s = 5.0
+    sim.run_until(seconds(duration_s))
+    total_bytes = sum(s.bytes_sent for s in sources)
+    achieved_kbps = total_bytes * 8 / duration_s / 1_000
+    assert achieved_kbps == pytest.approx(rate_kbps, rel=0.2)
+
+
+def test_sources_attach_distinct_ues():
+    sim = Simulator()
+    ran = RanSimulator(sim, RanConfig(), RngStreams(2))
+    config = CrossTrafficConfig(n_ues=6)
+    attach_cross_traffic(sim, ran, config, RngStreams(2).stream("x"))
+    for ue_id in range(100, 106):
+        assert ran.ue(ue_id) is not None
+
+
+def test_bursts_create_on_off_pattern():
+    sim = Simulator()
+    ran = RanSimulator(sim, RanConfig(base_bler=0.0), RngStreams(2))
+    config = CrossTrafficConfig(
+        n_ues=1,
+        phases=[CrossTrafficPhase(0, 10_000.0)],
+        burst_on_ms=50.0,
+        burst_off_ms=50.0,
+    )
+    source = attach_cross_traffic(sim, ran, config, RngStreams(7).stream("x"))[0]
+    # Sample the send pattern by tracking buffer enqueues over time.
+    sim.run_until(seconds(2.0))
+    assert source.packets_sent > 0
+    # On/off with equal windows: the burst rate is twice the average.
+    assert source.bytes_sent * 8 / 2.0 / 1_000 == pytest.approx(10_000, rel=0.25)

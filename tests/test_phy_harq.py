@@ -1,0 +1,96 @@
+"""Tests for the HARQ retransmission model (§3.2)."""
+
+import numpy as np
+import pytest
+
+from repro.phy import run_harq
+
+
+def _run(bler, retx_bler=None, seed=0, max_rounds=4):
+    rng = np.random.default_rng(seed)
+    return run_harq(
+        rng=rng,
+        first_tx_slot_us=2_000,
+        slot_us=500,
+        decode_delay_us=0,
+        first_bler=bler,
+        retx_bler=bler if retx_bler is None else retx_bler,
+        harq_rtt_us=10_000,
+        max_rounds=max_rounds,
+    )
+
+
+def test_perfect_channel_decodes_first_attempt():
+    outcome = _run(0.0)
+    assert outcome.rounds == 0 and not outcome.lost
+    assert outcome.decode_us == 2_500  # slot end
+    assert outcome.failed_slot_us == []
+
+
+def test_single_failure_adds_exactly_one_harq_rtt():
+    # bler=1 on first attempt, 0 on retransmissions.
+    outcome = _run(1.0, retx_bler=0.0)
+    assert outcome.rounds == 1 and not outcome.lost
+    assert outcome.decode_us == 2_500 + 10_000  # "inflated by 10 ms"
+    assert outcome.failed_slot_us == [2_000]
+
+
+def test_repeated_failures_inflate_in_10ms_multiples():
+    rng = np.random.default_rng(0)
+    # Force exactly two failures: fail, fail, success.
+    draws = iter([0.0, 0.0, 0.99])
+
+    class FakeRng:
+        def random(self):
+            return next(draws)
+
+    from repro.phy.harq import run_harq as rh
+
+    outcome = rh(FakeRng(), 2_000, 500, 0, 0.5, 0.5, 10_000, 4)
+    assert outcome.rounds == 2
+    assert outcome.decode_us == 2_500 + 20_000
+    assert outcome.failed_slot_us == [2_000, 12_000]
+    del rng
+
+
+def test_always_failing_tb_is_lost_after_max_rounds():
+    outcome = _run(1.0, max_rounds=3)
+    assert outcome.lost
+    assert outcome.rounds == 3
+    assert len(outcome.failed_slot_us) == 4  # initial + 3 retransmissions
+
+
+def test_max_rounds_zero_means_no_retransmission():
+    outcome = _run(1.0, max_rounds=0)
+    assert outcome.lost and outcome.rounds == 0
+
+
+def test_decode_delay_added():
+    rng = np.random.default_rng(0)
+    from repro.phy.harq import run_harq as rh
+
+    outcome = rh(rng, 2_000, 500, 700, 0.0, 0.0, 10_000, 4)
+    assert outcome.decode_us == 2_000 + 500 + 700
+
+
+def test_failure_rate_matches_bler_statistically():
+    rng = np.random.default_rng(42)
+    from repro.phy.harq import run_harq as rh
+
+    fails = sum(
+        rh(rng, 0, 500, 0, 0.3, 0.3, 10_000, 4).rounds > 0 for _ in range(4_000)
+    )
+    assert fails / 4_000 == pytest.approx(0.3, abs=0.03)
+
+
+def test_round_distribution_is_geometric():
+    rng = np.random.default_rng(42)
+    from repro.phy.harq import run_harq as rh
+
+    rounds = [rh(rng, 0, 500, 0, 0.5, 0.5, 10_000, 10).rounds
+              for _ in range(4_000)]
+    hist = np.bincount(rounds, minlength=4)
+    # P(rounds = k) = 0.5^(k+1): successive counts roughly halve.
+    assert hist[0] == pytest.approx(2_000, rel=0.12)
+    assert hist[1] == pytest.approx(1_000, rel=0.2)
+    assert hist[2] == pytest.approx(500, rel=0.3)

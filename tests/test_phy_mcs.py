@@ -1,0 +1,75 @@
+"""Tests for the MCS table and TBS sizing."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.phy import (
+    MAX_MCS_INDEX,
+    bits_per_prb,
+    mcs_entry,
+    mcs_for_snr,
+    prbs_for_bits,
+    tbs_bits,
+)
+
+
+def test_table_covers_0_to_28():
+    assert MAX_MCS_INDEX == 28
+    assert mcs_entry(0).modulation_order == 2
+    assert mcs_entry(28).modulation_order == 6
+
+
+def test_efficiency_nearly_monotonic_in_index():
+    # The standard table dips very slightly at the 16QAM->64QAM boundary
+    # (MCS 16 -> 17), so allow a tiny tolerance there.
+    effs = [mcs_entry(i).efficiency for i in range(MAX_MCS_INDEX + 1)]
+    assert all(b > a - 0.01 for a, b in zip(effs, effs[1:]))
+    assert effs[-1] > effs[0] * 4
+
+
+def test_mcs_entry_rejects_out_of_range():
+    with pytest.raises(ValueError):
+        mcs_entry(-1)
+    with pytest.raises(ValueError):
+        mcs_entry(29)
+
+
+def test_bits_per_prb_known_value():
+    # MCS 28: 6 * 948/1024 = 5.5547 bits/RE; 12*13 = 156 REs per PRB.
+    assert bits_per_prb(28) == int(156 * 6 * 948 / 1024)
+
+
+def test_tbs_scales_linearly_with_prbs():
+    assert tbs_bits(20, 10) == 10 * bits_per_prb(20)
+    assert tbs_bits(20, 0) == 0
+
+
+def test_tbs_rejects_negative_prbs():
+    with pytest.raises(ValueError):
+        tbs_bits(20, -1)
+
+
+def test_prbs_for_bits_zero():
+    assert prbs_for_bits(0, 20) == 0
+
+
+@given(
+    bits=st.integers(min_value=1, max_value=10**6),
+    mcs=st.integers(min_value=0, max_value=28),
+)
+def test_prbs_for_bits_is_minimal_cover(bits, mcs):
+    prbs = prbs_for_bits(bits, mcs)
+    assert tbs_bits(mcs, prbs) >= bits
+    if prbs > 0:
+        assert tbs_bits(mcs, prbs - 1) < bits
+
+
+def test_mcs_for_snr_monotonic():
+    picks = [mcs_for_snr(snr) for snr in range(-5, 40, 2)]
+    assert all(a <= b for a, b in zip(picks, picks[1:]))
+
+
+def test_mcs_for_snr_extremes():
+    assert mcs_for_snr(-10.0) == 0
+    assert mcs_for_snr(40.0) == MAX_MCS_INDEX

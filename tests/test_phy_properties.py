@@ -1,0 +1,116 @@
+"""Property-based tests of RAN-wide invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.phy import FixedChannel, RanConfig, RanSimulator
+from repro.sim import RngStreams, Simulator, ms, seconds
+from repro.trace import CapturePoint, MediaKind, PacketRecord
+from repro.trace.schema import new_packet_id
+
+
+@st.composite
+def _workload(draw):
+    """Random bursts: list of (send_time_us, n_packets, packet_bytes)."""
+    n_bursts = draw(st.integers(min_value=1, max_value=8))
+    bursts = []
+    t = 0
+    for _ in range(n_bursts):
+        t += draw(st.integers(min_value=1_000, max_value=80_000))
+        n = draw(st.integers(min_value=1, max_value=10))
+        size = draw(st.integers(min_value=40, max_value=1_400))
+        bursts.append((t, n, size))
+    return bursts
+
+
+@settings(max_examples=30, deadline=None)
+@given(workload=_workload(), bler=st.sampled_from([0.0, 0.1, 0.4]),
+       seed=st.integers(min_value=0, max_value=100))
+def test_every_packet_delivered_or_dropped(workload, bler, seed):
+    """Conservation: the RAN never loses track of a packet."""
+    sim = Simulator()
+    config = RanConfig(base_bler=bler, retx_bler=bler)
+    ran = RanSimulator(sim, config, RngStreams(seed))
+    ue = ran.add_ue(1, channel=FixedChannel(20, bler))
+    delivered = []
+    ran.set_uplink_sink(1, lambda p, t: delivered.append(p))
+    packets = []
+    for t, n, size in workload:
+        for _ in range(n):
+            p = PacketRecord(packet_id=new_packet_id(), flow_id="w",
+                             kind=MediaKind.VIDEO, size_bytes=size)
+            packets.append(p)
+            sim.at(t, lambda p=p: ran.send_uplink(1, p))
+    sim.run_until(workload[-1][0] + seconds(2.0))
+    dropped = [p for p in packets if p.dropped]
+    assert len(delivered) + len(dropped) == len(packets)
+    assert ue.buffer.empty
+
+
+@settings(max_examples=30, deadline=None)
+@given(workload=_workload(), seed=st.integers(min_value=0, max_value=100))
+def test_delivery_times_on_slot_grid(workload, seed):
+    """Every decode lands one slot after an uplink slot boundary."""
+    sim = Simulator()
+    config = RanConfig(base_bler=0.0, retx_bler=0.0)
+    ran = RanSimulator(sim, config, RngStreams(seed))
+    ran.add_ue(1, channel=FixedChannel(20, 0.0))
+    delivered = []
+    ran.set_uplink_sink(1, lambda p, t: delivered.append((p, t)))
+    for t, n, size in workload:
+        for _ in range(n):
+            p = PacketRecord(packet_id=new_packet_id(), flow_id="w",
+                             kind=MediaKind.VIDEO, size_bytes=size)
+            sim.at(t, lambda p=p: ran.send_uplink(1, p))
+    sim.run_until(workload[-1][0] + seconds(2.0))
+    backhaul = config.gnb_to_core_us
+    for p, arrival in delivered:
+        decode = arrival - backhaul
+        slot_start = decode - config.slot_us
+        # UL slots start at 2000 + k*2500 us for DDDSU with 500 us slots.
+        assert (slot_start - 2_000) % 2_500 == 0
+
+
+@settings(max_examples=25, deadline=None)
+@given(workload=_workload(), seed=st.integers(min_value=0, max_value=50))
+def test_fifo_enqueue_order_preserved_without_harq(workload, seed):
+    """With a clean channel the uplink is FIFO (HARQ is the only reorderer)."""
+    sim = Simulator()
+    config = RanConfig(base_bler=0.0, retx_bler=0.0)
+    ran = RanSimulator(sim, config, RngStreams(seed))
+    ran.add_ue(1, channel=FixedChannel(20, 0.0))
+    order = []
+    ran.set_uplink_sink(1, lambda p, t: order.append(p.packet_id))
+    sent = []
+    for t, n, size in workload:
+        for _ in range(n):
+            p = PacketRecord(packet_id=new_packet_id(), flow_id="w",
+                             kind=MediaKind.VIDEO, size_bytes=size)
+            sent.append(p.packet_id)
+            sim.at(t, lambda p=p: ran.send_uplink(1, p))
+    sim.run_until(workload[-1][0] + seconds(2.0))
+    assert order == sent
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=1_000))
+def test_telemetry_identity_holds_for_any_seed(seed):
+    """sched + queue + spread + harq + slot == enqueue->decode, always."""
+    sim = Simulator()
+    config = RanConfig(base_bler=0.2, retx_bler=0.2)
+    ran = RanSimulator(sim, config, RngStreams(seed))
+    ran.add_ue(1, channel=FixedChannel(20, 0.2))
+    delivered = []
+    ran.set_uplink_sink(1, lambda p, t: delivered.append(p))
+    for k in range(6):
+        for _ in range(5):
+            p = PacketRecord(packet_id=new_packet_id(), flow_id="w",
+                             kind=MediaKind.VIDEO, size_bytes=1_100)
+            sim.at(ms(3.0) + k * ms(35.0), lambda p=p: ran.send_uplink(1, p))
+    sim.run_until(seconds(1.0))
+    for p in delivered:
+        t = p.ran
+        assert t.delivered_us == (
+            t.enqueue_us + t.sched_wait_us + t.queue_wait_us
+            + t.spread_wait_us + t.harq_delay_us + config.slot_us
+        )

@@ -1,0 +1,116 @@
+"""Tests for the TDD frame structure (Fig 6)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.phy import TddFrame
+
+
+def test_dddsu_ul_period_is_2500us():
+    tdd = TddFrame("DDDSU", 500)
+    assert tdd.ul_period_us == 2_500
+    assert tdd.period_us == 2_500
+
+
+def test_dddsu_downlink_four_times_as_frequent():
+    tdd = TddFrame("DDDSU", 500)
+    dl = sum(1 for i in range(5) if tdd.is_downlink_slot(i))
+    ul = sum(1 for i in range(5) if tdd.is_uplink_slot(i))
+    assert dl == 4 and ul == 1  # "downlink slots occur four times as frequently"
+
+
+def test_uplink_slot_positions():
+    tdd = TddFrame("DDDSU", 500)
+    assert [tdd.is_uplink_slot(i) for i in range(5)] == [
+        False, False, False, False, True,
+    ]
+    assert tdd.is_uplink_slot(9)  # pattern repeats
+
+
+def test_next_ul_slot_start():
+    tdd = TddFrame("DDDSU", 500)
+    assert tdd.next_ul_slot_start(0) == 2_000
+    assert tdd.next_ul_slot_start(2_000) == 2_000  # boundary included
+    assert tdd.next_ul_slot_start(2_001) == 4_500
+    assert tdd.next_ul_slot_start(4_500) == 4_500
+
+
+def test_ul_slots_between():
+    tdd = TddFrame("DDDSU", 500)
+    assert list(tdd.ul_slots_between(0, 10_000)) == [2_000, 4_500, 7_000, 9_500]
+
+
+def test_slot_index_and_start():
+    tdd = TddFrame("DDDSU", 500)
+    assert tdd.slot_index(1_250) == 2
+    assert tdd.slot_start(2) == 1_000
+
+
+def test_fdd_every_slot_is_both():
+    tdd = TddFrame("DDDSU", 500, fdd=True)
+    assert tdd.is_uplink_slot(0) and tdd.is_downlink_slot(0)
+    assert tdd.ul_period_us == 500
+    assert tdd.next_ul_slot_start(123) == 500
+
+
+def test_ul_fraction():
+    assert TddFrame("DDDSU", 500).ul_fraction() == pytest.approx(0.2)
+    assert TddFrame("DDSUU", 500).ul_fraction() == pytest.approx(0.4)
+    assert TddFrame("U", 500, fdd=True).ul_fraction() == 1.0
+
+
+def test_special_slot_counts_as_downlink():
+    tdd = TddFrame("DDDSU", 500)
+    assert tdd.is_downlink_slot(3)
+    assert not tdd.is_uplink_slot(3)
+
+
+def test_rejects_bad_patterns():
+    with pytest.raises(ValueError):
+        TddFrame("", 500)
+    with pytest.raises(ValueError):
+        TddFrame("DDDD", 500)  # no uplink
+    with pytest.raises(ValueError):
+        TddFrame("DXU", 500)  # invalid slot kind
+    with pytest.raises(ValueError):
+        TddFrame("DDDSU", 0)  # bad slot length
+
+
+def test_lowercase_pattern_accepted():
+    assert TddFrame("dddsu", 500).ul_period_us == 2_500
+
+
+@given(
+    pattern=st.text(alphabet="DUS", min_size=1, max_size=10).filter(
+        lambda s: "U" in s
+    ),
+    t=st.integers(min_value=0, max_value=1_000_000),
+)
+def test_next_ul_slot_is_uplink_and_not_before_t(pattern, t):
+    tdd = TddFrame(pattern, 500)
+    start = tdd.next_ul_slot_start(t)
+    assert start >= t
+    assert tdd.is_uplink_slot(tdd.slot_index(start))
+    assert start - t < tdd.period_us + tdd.slot_us
+
+
+@given(t=st.integers(min_value=0, max_value=10_000_000))
+def test_next_ul_slot_idempotent(t):
+    tdd = TddFrame("DDDSU", 500)
+    first = tdd.next_ul_slot_start(t)
+    assert tdd.next_ul_slot_start(first) == first
+
+
+def test_ascii_frame_renders_fig6():
+    tdd = TddFrame("DDDSU", 500)
+    art = tdd.ascii_frame(periods=4)
+    lines = art.splitlines()
+    assert "DDDSU" in lines[0]
+    assert lines[1].startswith("DDDSUDDDSUDDDSUDDDSU")
+    assert "^" in lines[2] and "v" in lines[2]
+    # The grant mark lands on an uplink slot ~10 ms after the BSR.
+    bsr_idx = lines[2].index("^")
+    grant_idx = lines[2].index("v")
+    assert lines[1][grant_idx] == "U"
+    assert (grant_idx - bsr_idx) * 500 >= 10_000

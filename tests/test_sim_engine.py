@@ -1,0 +1,144 @@
+"""Tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim import SimulationError, Simulator
+
+
+def test_now_starts_at_zero():
+    assert Simulator().now == 0
+
+
+def test_events_run_in_time_order():
+    sim = Simulator()
+    order = []
+    sim.at(300, lambda: order.append("c"))
+    sim.at(100, lambda: order.append("a"))
+    sim.at(200, lambda: order.append("b"))
+    sim.run_until(1_000)
+    assert order == ["a", "b", "c"]
+
+
+def test_ties_break_by_insertion_order():
+    sim = Simulator()
+    order = []
+    for name in "abcde":
+        sim.at(500, lambda n=name: order.append(n))
+    sim.run_until(500)
+    assert order == list("abcde")
+
+
+def test_now_advances_to_event_time():
+    sim = Simulator()
+    seen = []
+    sim.at(250, lambda: seen.append(sim.now))
+    sim.run_until(1_000)
+    assert seen == [250]
+    assert sim.now == 1_000  # advances to the horizon afterwards
+
+
+def test_run_until_excludes_later_events():
+    sim = Simulator()
+    fired = []
+    sim.at(100, lambda: fired.append(1))
+    sim.at(2_000, lambda: fired.append(2))
+    sim.run_until(1_000)
+    assert fired == [1]
+    sim.run_until(3_000)
+    assert fired == [1, 2]
+
+
+def test_call_later_is_relative():
+    sim = Simulator()
+    times = []
+    sim.at(100, lambda: sim.call_later(50, lambda: times.append(sim.now)))
+    sim.run_until(1_000)
+    assert times == [150]
+
+
+def test_scheduling_in_the_past_raises():
+    sim = Simulator()
+    sim.at(100, lambda: None)
+    sim.run_until(100)
+    with pytest.raises(SimulationError):
+        sim.at(50, lambda: None)
+
+
+def test_negative_delay_raises():
+    with pytest.raises(SimulationError):
+        Simulator().call_later(-1, lambda: None)
+
+
+def test_cancel_prevents_firing():
+    sim = Simulator()
+    fired = []
+    handle = sim.at(100, lambda: fired.append(1))
+    handle.cancel()
+    sim.run_until(1_000)
+    assert fired == []
+
+
+def test_every_repeats_at_period():
+    sim = Simulator()
+    times = []
+    sim.every(250, lambda: times.append(sim.now))
+    sim.run_until(1_000)
+    assert times == [0, 250, 500, 750, 1_000]
+
+
+def test_every_with_start_offset():
+    sim = Simulator()
+    times = []
+    sim.every(100, lambda: times.append(sim.now), start_us=30)
+    sim.run_until(330)
+    assert times == [30, 130, 230, 330]
+
+
+def test_every_cancel_stops_repeats():
+    sim = Simulator()
+    times = []
+    handle = sim.every(100, lambda: times.append(sim.now))
+
+    def maybe_cancel():
+        if len(times) == 3:
+            handle.cancel()
+
+    sim.every(100, maybe_cancel, start_us=1)
+    sim.run_until(10_000)
+    assert times == [0, 100, 200]
+
+
+def test_every_rejects_nonpositive_period():
+    with pytest.raises(SimulationError):
+        Simulator().every(0, lambda: None)
+
+
+def test_events_scheduled_during_run_execute():
+    sim = Simulator()
+    seen = []
+
+    def chain(depth):
+        seen.append(sim.now)
+        if depth > 0:
+            sim.call_later(10, lambda: chain(depth - 1))
+
+    sim.at(0, lambda: chain(3))
+    sim.run_until(100)
+    assert seen == [0, 10, 20, 30]
+
+
+def test_run_drains_queue():
+    sim = Simulator()
+    fired = []
+    sim.at(5, lambda: fired.append(1))
+    sim.at(10, lambda: fired.append(2))
+    sim.run()
+    assert fired == [1, 2]
+    assert sim.now == 10
+
+
+def test_pending_events_counts_queue():
+    sim = Simulator()
+    sim.at(5, lambda: None)
+    sim.at(6, lambda: None)
+    assert sim.pending_events() == 2

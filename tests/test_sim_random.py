@@ -1,0 +1,50 @@
+"""Tests for named reproducible random streams."""
+
+import pytest
+
+from repro.sim import RngStreams
+
+
+def test_same_seed_same_stream():
+    a = RngStreams(42).stream("phy").random(5)
+    b = RngStreams(42).stream("phy").random(5)
+    assert list(a) == list(b)
+
+
+def test_different_names_are_independent():
+    streams = RngStreams(42)
+    a = streams.stream("phy").random(5)
+    b = streams.stream("media").random(5)
+    assert list(a) != list(b)
+
+
+def test_different_seeds_differ():
+    a = RngStreams(1).stream("phy").random(5)
+    b = RngStreams(2).stream("phy").random(5)
+    assert list(a) != list(b)
+
+
+def test_stream_is_cached():
+    streams = RngStreams(7)
+    assert streams.stream("x") is streams.stream("x")
+
+
+def test_contains():
+    streams = RngStreams(7)
+    assert "x" not in streams
+    streams.stream("x")
+    assert "x" in streams
+
+
+def test_adding_stream_does_not_perturb_existing():
+    one = RngStreams(42)
+    first_draws = one.stream("a").random(3)
+    two = RngStreams(42)
+    two.stream("b")  # extra stream created first
+    second_draws = two.stream("a").random(3)
+    assert list(first_draws) == list(second_draws)
+
+
+def test_negative_seed_rejected():
+    with pytest.raises(ValueError):
+        RngStreams(-1)

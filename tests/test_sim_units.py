@@ -1,0 +1,53 @@
+"""Tests for time/size unit helpers."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sim import units
+
+
+def test_ms_to_us():
+    assert units.ms(2.5) == 2_500
+    assert units.ms(0.0006) == 1  # rounds to nearest microsecond
+
+
+def test_seconds_to_us():
+    assert units.seconds(1.5) == 1_500_000
+
+
+def test_us_to_ms_roundtrip():
+    assert units.us_to_ms(2_500) == 2.5
+
+
+def test_us_to_sec():
+    assert units.us_to_sec(1_500_000) == 1.5
+
+
+def test_bytes_to_kbits():
+    assert units.bytes_to_kbits(1_250) == 10.0
+
+
+def test_kbps_to_bytes_per_us():
+    # 8 kbps == 1000 B/s == 0.001 B/us
+    assert units.kbps_to_bytes_per_us(8.0) == pytest.approx(0.001)
+
+
+def test_throughput_kbps():
+    # 1250 bytes in 1 ms -> 10 kbit / 0.001 s = 10_000 kbps
+    assert units.throughput_kbps(1_250, 1_000) == pytest.approx(10_000)
+
+
+def test_throughput_rejects_nonpositive_duration():
+    with pytest.raises(ValueError):
+        units.throughput_kbps(100, 0)
+
+
+@given(st.floats(min_value=0.001, max_value=1e6, allow_nan=False))
+def test_ms_seconds_consistent(value):
+    assert units.seconds(value / 1_000) == units.ms(value)
+
+
+@given(st.integers(min_value=0, max_value=10**12))
+def test_us_to_ms_inverse_of_ms(us):
+    assert units.ms(units.us_to_ms(us)) == us
