@@ -1,0 +1,18 @@
+# Developer entry points. CI runs the same two commands (see
+# .github/workflows/ci.yml), so `make check` locally predicts the gate.
+
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: check lint lint-json test
+
+check: lint test
+
+lint:
+	$(PYTHON) -m repro.analysis
+
+lint-json:
+	$(PYTHON) -m repro.analysis --format json --output lint-report.json
+
+test:
+	$(PYTHON) -m pytest -x -q

@@ -21,20 +21,20 @@ from repro.experiments.common import cross_traffic_scenario
 from repro.trace import CapturePoint
 
 
-def run_with(estimator: str, duration: float):
+def run_with(estimator: str, duration_s: float):
     config = cross_traffic_scenario(
-        duration_s=duration, seed=5, phase_rates_mbps=(0.0, 16.0),
+        duration_s=duration_s, seed=5, phase_rates_mbps=(0.0, 16.0),
         record_tbs=False, estimator=estimator,
     )
     return run_session(config)
 
 
 def main() -> None:
-    duration = float(sys.argv[1]) if len(sys.argv) > 1 else 40.0
+    duration_s = float(sys.argv[1]) if len(sys.argv) > 1 else 40.0
     rows = []
     for estimator in ("gcc", "nada", "scream"):
         print(f"running {estimator} ...")
-        result = run_with(estimator, duration)
+        result = run_with(estimator, duration_s)
         qoe = result.qoe()
         medians = qoe.medians()
         owds = [

@@ -23,11 +23,11 @@ from repro.experiments import run_sec52, run_sec53
 
 
 def main() -> None:
-    duration = float(sys.argv[1]) if len(sys.argv) > 1 else 20.0
+    duration_s = float(sys.argv[1]) if len(sys.argv) > 1 else 20.0
 
     print("=== §5.2: application-aware RAN scheduling "
-          f"({duration:.0f} s per variant) ===")
-    sec52 = run_sec52(duration_s=duration, seed=3)
+          f"({duration_s:.0f} s per variant) ===")
+    sec52 = run_sec52(duration_s=duration_s, seed=3)
     print(sec52.summary())
     rows = []
     for name in ("aware(metadata)", "aware(learned)"):
@@ -44,7 +44,7 @@ def main() -> None:
           "inflation\nexperienced by frames in half.'")
 
     print("\n=== §5.3: RAN-aware congestion control ===")
-    sec53 = run_sec53(duration_s=duration * 2, seed=3)
+    sec53 = run_sec53(duration_s=duration_s * 2, seed=3)
     print(sec53.summary())
     comparison = sec53.comparison
     print(f"\nMasking PHY-attributed delay removed "

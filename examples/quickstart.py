@@ -17,10 +17,10 @@ from repro.trace import CapturePoint
 
 
 def main() -> None:
-    duration = float(sys.argv[1]) if len(sys.argv) > 1 else 20.0
-    print(f"Simulating a {duration:.0f} s video call over a private 5G "
+    duration_s = float(sys.argv[1]) if len(sys.argv) > 1 else 20.0
+    print(f"Simulating a {duration_s:.0f} s video call over a private 5G "
           "standalone cell (TDD DDDSU, proactive + BSR grants, HARQ)...")
-    config = ScenarioConfig(duration_s=duration, seed=42, record_tbs=True)
+    config = ScenarioConfig(duration_s=duration_s, seed=42, record_tbs=True)
     result = run_session(config)
     athena = AthenaSession(result.trace)
 

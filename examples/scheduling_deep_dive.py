@@ -39,8 +39,8 @@ def _render_timeline(timeline) -> None:
         row[a] = "|"
         row[b] = ">"
         tag = "V" if entry.kind == MediaKind.VIDEO else "A"
-        owd = (entry.core_us - entry.send_us) / 1_000
-        print(f"  {tag} {''.join(row)} {owd:5.1f} ms")
+        owd_ms = (entry.core_us - entry.send_us) / 1_000
+        print(f"  {tag} {''.join(row)} {owd_ms:5.1f} ms")
 
     print("\ntransport blocks (position = slot; symbol = kind/state):")
     print("  p/P = proactive unused/used, r/R = requested unused/used,")

@@ -1,0 +1,49 @@
+"""athena-lint: static analysis enforcing simulator determinism invariants.
+
+The reproduction's findings hinge on exact event ordering — 2.5 ms TDD slot
+arithmetic and 10 ms HARQ steps — which is why all simulation time is integer
+microseconds (:mod:`repro.sim.units`) and every random draw comes from a named
+substream (:mod:`repro.sim.random`).  This package machine-checks those
+conventions so future changes cannot silently erode them:
+
+========  ====================================================================
+Rule      Invariant
+========  ====================================================================
+ATH001    No wall-clock reads (``time.time``/``sleep``, ``datetime.now``, ...)
+ATH002    No global RNG draws — inject a ``numpy.random.Generator``
+ATH003    Time/rate identifiers carry unit suffixes; no bare float literals
+          mixed into ``*_us`` arithmetic (use ``units.ms()``/``seconds()``)
+ATH004    No float ``==``/``!=`` on simulation timestamps
+ATH005    No mutable default arguments
+ATH006    Scheduled callbacks go through the event queue API cleanly
+========  ====================================================================
+
+Findings can be suppressed per line with ``# athena-lint: disable=ATH00x``
+(comma-separate several ids, or use ``all``), per file with
+``# athena-lint: disable-file=ATH00x``, or grandfathered via a baseline file.
+
+Run it as ``athena-repro lint``, ``python -m repro.analysis``, or through the
+pytest gate in ``tests/test_lint_clean.py``.
+"""
+
+from __future__ import annotations
+
+from .baseline import load_baseline, write_baseline
+from .config import LintConfig, load_config
+from .findings import Finding
+from .registry import RULES, all_rules, get_rule
+from .runner import lint_paths, lint_source, main
+
+__all__ = [
+    "Finding",
+    "LintConfig",
+    "RULES",
+    "all_rules",
+    "get_rule",
+    "lint_paths",
+    "lint_source",
+    "load_baseline",
+    "load_config",
+    "main",
+    "write_baseline",
+]

@@ -1,0 +1,58 @@
+"""Baseline files: grandfather existing findings, fail only on new ones.
+
+A baseline entry is a line-number-free fingerprint — ``(rule, path, stripped
+source line)`` — so unrelated edits that shift code up or down do not
+resurrect grandfathered findings.  The checked-in tree keeps an **empty**
+baseline; the mechanism exists so a future large import can land incrementally
+without turning the lint gate off.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Counter as CounterT, Iterable, List, Tuple
+
+from .findings import Finding
+
+BASELINE_VERSION = 1
+
+Fingerprint = Tuple[str, str, str]
+
+
+def load_baseline(path: Path) -> CounterT[Fingerprint]:
+    """Read a baseline file into a fingerprint multiset."""
+    data = json.loads(path.read_text(encoding="utf-8"))
+    if data.get("version") != BASELINE_VERSION:
+        raise ValueError(f"unsupported baseline version: {data.get('version')!r}")
+    return Counter(
+        (entry["rule"], entry["path"], entry["context"])
+        for entry in data.get("findings", [])
+    )
+
+
+def write_baseline(path: Path, findings: Iterable[Tuple[Finding, str]]) -> None:
+    """Write ``(finding, context line)`` pairs as a baseline file."""
+    entries = [
+        {"rule": f.rule_id, "path": f.path, "context": context}
+        for f, context in findings
+    ]
+    entries.sort(key=lambda e: (e["path"], e["rule"], e["context"]))
+    payload = {"version": BASELINE_VERSION, "findings": entries}
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+
+def subtract_baseline(
+    findings: List[Tuple[Finding, str]], baseline: CounterT[Fingerprint]
+) -> List[Tuple[Finding, str]]:
+    """Drop findings whose fingerprint is still covered by the baseline."""
+    remaining = Counter(baseline)
+    kept: List[Tuple[Finding, str]] = []
+    for finding, context in findings:
+        fp = finding.fingerprint(context)
+        if remaining[fp] > 0:
+            remaining[fp] -= 1
+        else:
+            kept.append((finding, context))
+    return kept

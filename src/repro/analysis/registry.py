@@ -1,0 +1,56 @@
+"""Rule base class and the registry the runner iterates over."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Type
+
+from .common import LintContext
+from .findings import Finding
+
+RULES: Dict[str, Type["Rule"]] = {}
+
+
+class Rule:
+    """Base class: subclass, set the metadata, implement :meth:`check`."""
+
+    id: str = ""
+    name: str = ""
+    summary: str = ""
+    hint: str = ""
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        """Yield findings for one file."""
+        raise NotImplementedError
+
+    def finding(
+        self, ctx: LintContext, line: int, col: int, message: str, hint: str = ""
+    ) -> Finding:
+        """Construct a finding for this rule at ``line:col``."""
+        return Finding(
+            rule_id=self.id,
+            path=ctx.relpath,
+            line=line,
+            col=col,
+            message=message,
+            hint=hint or self.hint,
+        )
+
+
+def register(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding a rule to the registry (ids must be unique)."""
+    if not cls.id:
+        raise ValueError(f"rule {cls.__name__} has no id")
+    if cls.id in RULES:
+        raise ValueError(f"duplicate rule id {cls.id}")
+    RULES[cls.id] = cls
+    return cls
+
+
+def get_rule(rule_id: str) -> Rule:
+    """Instantiate the rule registered under ``rule_id``."""
+    return RULES[rule_id]()
+
+
+def all_rules() -> List[Rule]:
+    """Instantiate every registered rule, ordered by id."""
+    return [RULES[rule_id]() for rule_id in sorted(RULES)]

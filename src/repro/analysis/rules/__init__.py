@@ -1,0 +1,15 @@
+"""The ATH001–ATH006 rule implementations.
+
+Importing this package registers every rule with :mod:`repro.analysis.registry`.
+"""
+
+from __future__ import annotations
+
+from . import (  # noqa: F401  (import for registration side effect)
+    float_eq,
+    handlers,
+    mutable_defaults,
+    rng,
+    unit_suffix,
+    wallclock,
+)

@@ -1,0 +1,334 @@
+"""ATH003 — unit-suffix discipline for time and rate identifiers.
+
+The simulator keeps time as integer microseconds and rates as kbps; mixing a
+bare ``delay`` (which unit?) into that arithmetic is how 2.5 ms slot math
+silently turns into 2.5 us slot math.  Two checks:
+
+* **Names** — function parameters, class fields, locals and ``self.*``
+  attributes whose name says "time" or "rate" must carry a unit token
+  (``delay_us``, ``rate_kbps``, ``delay_ms_p95`` all qualify).  Booleans
+  (``mask_ran_delay: bool``), dimensionless trailers (``jitter_buffer_beta``)
+  and probability-style rates (``loss_rate``) are exempt.
+* **Literals** — a bare *float* literal combined or compared with a ``*_us``
+  value is a unit smell: write ``units.ms(2.5)`` / ``units.seconds(0.5)``
+  instead of ``2500.0`` so the unit is visible and the result stays integer.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Set, Tuple
+
+from ..common import LintContext, terminal_name
+from ..findings import Finding
+from ..registry import Rule, register
+
+TIME_WORDS = frozenset(
+    {
+        "time",
+        "timestamp",
+        "delay",
+        "duration",
+        "period",
+        "interval",
+        "timeout",
+        "latency",
+        "deadline",
+        "rtt",
+        "owd",
+        "jitter",
+        "elapsed",
+        "expiry",
+        "wait",
+    }
+)
+RATE_WORDS = frozenset(
+    {"rate", "bitrate", "bandwidth", "throughput", "goodput", "capacity"}
+)
+UNIT_TOKENS = frozenset(
+    {
+        "us",
+        "ms",
+        "ns",
+        "s",
+        "sec",
+        "secs",
+        "seconds",
+        "min",
+        "hz",
+        "khz",
+        "mhz",
+        "bps",
+        "kbps",
+        "mbps",
+        "gbps",
+        "bits",
+        "bytes",
+        "kb",
+        "mb",
+        "fps",
+        "ticks",
+        "slots",
+        "db",
+        "pct",
+        "percent",
+    }
+)
+# A trailing token that marks the value as dimensionless or structural.
+DIMENSIONLESS_TRAILERS = frozenset(
+    {
+        "alpha",
+        "beta",
+        "buffer",
+        "coeff",
+        "coefficient",
+        "count",
+        "factor",
+        "frac",
+        "fraction",
+        "gain",
+        "id",
+        "idx",
+        "index",
+        "kind",
+        "mode",
+        "multiplier",
+        "name",
+        "phases",
+        "policy",
+        "prob",
+        "probability",
+        "ratio",
+        "samples",
+        "scale",
+        "schedule",
+        "series",
+        "weight",
+        "window",
+        "windows",
+        # collection-of-X names: the name describes structure, not a quantity
+        "funcs",
+        "names",
+        "prefixes",
+        "tokens",
+        "trailers",
+        "words",
+    }
+)
+# "<prefix>_rate" where the prefix makes it a probability, not a throughput.
+PROBABILITY_RATE_PREFIXES = frozenset(
+    {"loss", "miss", "code", "error", "drop", "hit", "success", "retx", "fail"}
+)
+def needs_unit_suffix(name: str) -> bool:
+    """True if ``name`` denotes a time/rate quantity but names no unit.
+
+    Matching is case-insensitive so ``DEFAULT_TIMEOUT``-style constants are
+    held to the same discipline as locals and parameters.
+    """
+    tokens = name.lower().lstrip("_").split("_")
+    if not tokens:
+        return False
+    if tokens[-1] in DIMENSIONLESS_TRAILERS:
+        return False
+    if any(tok in UNIT_TOKENS for tok in tokens):
+        return False
+    for i, tok in enumerate(tokens):
+        if tok in TIME_WORDS:
+            return True
+        if tok in RATE_WORDS:
+            if tok == "rate" and i > 0 and tokens[i - 1] in PROBABILITY_RATE_PREFIXES:
+                continue
+            return True
+    return False
+
+
+def _is_bool_hinted(annotation: Optional[ast.expr], default: Optional[ast.expr]) -> bool:
+    if isinstance(annotation, ast.Name) and annotation.id == "bool":
+        return True
+    if isinstance(default, ast.Constant) and isinstance(default.value, bool):
+        return True
+    return False
+
+
+def _is_us_name(node: ast.expr) -> bool:
+    name = terminal_name(node)
+    if not name:
+        return False
+    tokens = name.lstrip("_").split("_")
+    return len(tokens) >= 2 and tokens[-1] == "us"
+
+
+def _is_constructor_call(node: ast.expr) -> bool:
+    """A call to a CamelCase name builds a component, not a quantity."""
+    if not isinstance(node, ast.Call):
+        return False
+    name = terminal_name(node.func)
+    return bool(name) and name[:1].isupper()
+
+
+def _float_literal(node: ast.expr) -> bool:
+    if isinstance(node, ast.Constant) and type(node.value) is float:
+        return True
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, (ast.USub, ast.UAdd)):
+        return _float_literal(node.operand)
+    return False
+
+
+class _Visitor(ast.NodeVisitor):
+    def __init__(self, rule: "UnitSuffixRule", ctx: LintContext) -> None:
+        self.rule = rule
+        self.ctx = ctx
+        self.findings: List[Finding] = []
+        # (scope id, name) pairs already reported, so a local rebound in a
+        # loop is flagged once.
+        self._seen: Set[Tuple[int, str]] = set()
+        self._scope_stack: List[int] = [0]
+        # Bool-hinted parameter names of enclosing functions: assigning one
+        # straight onto `self` keeps its boolean nature.
+        self._bool_params: List[Set[str]] = [set()]
+
+    # -- name checks -------------------------------------------------------
+
+    def _flag_name(self, name: str, node: ast.AST, what: str) -> None:
+        key = (self._scope_stack[-1], name)
+        if key in self._seen:
+            return
+        self._seen.add(key)
+        self.findings.append(
+            self.rule.finding(
+                self.ctx,
+                node.lineno,
+                node.col_offset,
+                f"{what} `{name}` holds a time/rate but names no unit",
+                hint="append a unit suffix (_us, _ms, _s, _kbps, _bytes, ...)",
+            )
+        )
+
+    def _check_args(self, node: ast.AST) -> Set[str]:
+        args = node.args
+        all_args = [*args.posonlyargs, *args.args, *args.kwonlyargs]
+        defaults: List[Optional[ast.expr]] = [None] * len(all_args)
+        pos = [*args.posonlyargs, *args.args]
+        for i, d in enumerate(reversed(args.defaults)):
+            defaults[len(pos) - 1 - i] = d
+        for i, d in enumerate(args.kw_defaults):
+            defaults[len(pos) + i] = d
+        bool_params: Set[str] = set()
+        for arg, default in zip(all_args, defaults):
+            if arg.arg in ("self", "cls"):
+                continue
+            if _is_bool_hinted(arg.annotation, default):
+                bool_params.add(arg.arg)
+                continue
+            if needs_unit_suffix(arg.arg):
+                self._flag_name(arg.arg, arg, "parameter")
+        return bool_params
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        bool_params = self._check_args(node)
+        self._scope_stack.append(id(node))
+        self._bool_params.append(self._bool_params[-1] | bool_params)
+        self.generic_visit(node)
+        self._bool_params.pop()
+        self._scope_stack.pop()
+
+    visit_AsyncFunctionDef = visit_FunctionDef  # type: ignore[assignment]
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        self._check_args(node)
+        self.generic_visit(node)
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        for stmt in node.body:
+            if isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+                if _is_bool_hinted(stmt.annotation, stmt.value):
+                    continue
+                if needs_unit_suffix(stmt.target.id):
+                    self._flag_name(stmt.target.id, stmt.target, "field")
+        self._scope_stack.append(id(node))
+        self.generic_visit(node)
+        self._scope_stack.pop()
+
+    def _value_exempt(self, value: Optional[ast.expr]) -> bool:
+        if value is None:
+            return False
+        if _is_bool_hinted(None, value):
+            return True
+        if _is_constructor_call(value):
+            return True
+        return isinstance(value, ast.Name) and value.id in self._bool_params[-1]
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            self._check_assign_target(target, node.value)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        # Class-body fields are handled in visit_ClassDef; this catches
+        # `self._last_time: TimeUs = ...` inside methods.
+        if isinstance(node.target, ast.Attribute):
+            self._check_assign_target(node.target, node.value)
+        self.generic_visit(node)
+
+    def _check_assign_target(self, target: ast.expr, value: Optional[ast.expr]) -> None:
+        if self._value_exempt(value):
+            return
+        if isinstance(target, ast.Name) and needs_unit_suffix(target.id):
+            self._flag_name(target.id, target, "variable")
+        elif (
+            isinstance(target, ast.Attribute)
+            and isinstance(target.value, ast.Name)
+            and target.value.id == "self"
+            and needs_unit_suffix(target.attr)
+        ):
+            self._flag_name("self." + target.attr, target, "attribute")
+
+    # -- bare-literal checks ----------------------------------------------
+
+    def _flag_literal(self, lit: ast.expr, other: ast.expr, op: str) -> None:
+        self.findings.append(
+            self.rule.finding(
+                self.ctx,
+                lit.lineno,
+                lit.col_offset,
+                f"bare float literal {op} `{terminal_name(other)}` "
+                "(integer-microsecond value)",
+                hint="wrap the literal in units.ms()/units.seconds()",
+            )
+        )
+
+    def visit_BinOp(self, node: ast.BinOp) -> None:
+        if isinstance(node.op, (ast.Add, ast.Sub, ast.Mult)):
+            pairs = ((node.left, node.right), (node.right, node.left))
+            for a, b in pairs:
+                if _is_us_name(a) and _float_literal(b):
+                    self._flag_literal(b, a, "combined with")
+                    break
+        self.generic_visit(node)
+
+    def visit_Compare(self, node: ast.Compare) -> None:
+        operands = [node.left, *node.comparators]
+        us_operand = next((o for o in operands if _is_us_name(o)), None)
+        if us_operand is not None:
+            for o in operands:
+                if _float_literal(o):
+                    self._flag_literal(o, us_operand, "compared against")
+                    break
+        self.generic_visit(node)
+
+
+@register
+class UnitSuffixRule(Rule):
+    """Require unit suffixes on time/rate names; ban bare float literals."""
+
+    id = "ATH003"
+    name = "unit-suffix"
+    summary = "unitless time/rate identifiers invite ms-vs-us mixups"
+    hint = "append a unit suffix (_us, _ms, _s, _kbps, _bytes, ...)"
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        if ctx.exempt(self.id):
+            return
+        visitor = _Visitor(self, ctx)
+        visitor.visit(ctx.tree)
+        yield from visitor.findings

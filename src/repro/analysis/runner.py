@@ -1,0 +1,196 @@
+"""Walk the tree, run every rule, filter, format, exit non-zero on findings.
+
+Exposed three ways — ``athena-repro lint``, ``python -m repro.analysis``, and
+:func:`lint_paths` for the pytest gate — all sharing this implementation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from . import rules  # noqa: F401  (registers ATH001..ATH006)
+from .baseline import load_baseline, subtract_baseline, write_baseline
+from .common import LintContext, path_matches
+from .config import LintConfig, load_config
+from .findings import Finding
+from .registry import RULES, all_rules
+from .suppress import parse_suppressions
+
+# A file that does not parse cannot be checked; surfaced under this id so it
+# still fails the gate with a file:line location.
+PARSE_ERROR_ID = "ATH000"
+
+
+def lint_source(
+    source: str,
+    relpath: str = "<string>",
+    rule_ids: Optional[Sequence[str]] = None,
+    rule_options: Optional[dict] = None,
+) -> List[Tuple[Finding, str]]:
+    """Lint one in-memory source blob; returns ``(finding, context)`` pairs.
+
+    This is the seam the rule unit tests drive with fixture snippets.
+    """
+    try:
+        ctx = LintContext.from_source(source, relpath, rule_options)
+    except SyntaxError as exc:
+        finding = Finding(
+            rule_id=PARSE_ERROR_ID,
+            path=relpath,
+            line=exc.lineno or 1,
+            col=(exc.offset or 1) - 1,
+            message=f"file does not parse: {exc.msg}",
+        )
+        return [(finding, "")]
+    suppressions = parse_suppressions(source)
+    selected = [
+        rule
+        for rule in all_rules()
+        if rule_ids is None or rule.id in rule_ids
+    ]
+    results: List[Tuple[Finding, str]] = []
+    for rule in selected:
+        for finding in rule.check(ctx):
+            if suppressions.is_suppressed(finding.rule_id, finding.line):
+                continue
+            results.append((finding, ctx.line_text(finding.line)))
+    results.sort(key=lambda fc: (fc[0].line, fc[0].col, fc[0].rule_id))
+    return results
+
+
+def collect_files(config: LintConfig, paths: Sequence[str]) -> List[Path]:
+    """Python files under ``paths`` (relative to the root), excludes applied."""
+    files: List[Path] = []
+    for entry in paths:
+        base = (config.root / entry).resolve()
+        if base.is_file() and base.suffix == ".py":
+            candidates: Iterable[Path] = [base]
+        elif base.is_dir():
+            candidates = sorted(base.rglob("*.py"))
+        else:
+            continue
+        for path in candidates:
+            rel = path.relative_to(config.root).as_posix()
+            if config.exclude and path_matches(rel, config.exclude):
+                continue
+            files.append(path)
+    return files
+
+
+def lint_paths(
+    root: Path,
+    paths: Optional[Sequence[str]] = None,
+    rule_ids: Optional[Sequence[str]] = None,
+    baseline_path: Optional[Path] = None,
+    config: Optional[LintConfig] = None,
+) -> Tuple[List[Tuple[Finding, str]], int]:
+    """Lint a tree; returns ``((finding, context) pairs, files scanned)``."""
+    config = config or load_config(root)
+    files = collect_files(config, paths or config.paths)
+    results: List[Tuple[Finding, str]] = []
+    for path in files:
+        rel = path.relative_to(config.root).as_posix()
+        source = path.read_text(encoding="utf-8")
+        for finding, context in lint_source(
+            source, rel, rule_ids, config.rule_options
+        ):
+            results.append((finding, context))
+    baseline_path = baseline_path or config.baseline
+    if baseline_path is not None and baseline_path.is_file():
+        results = subtract_baseline(results, load_baseline(baseline_path))
+    results.sort(key=lambda fc: (fc[0].path, fc[0].line, fc[0].col, fc[0].rule_id))
+    return results, len(files)
+
+
+def _render_text(results: List[Tuple[Finding, str]], scanned: int) -> str:
+    lines = [finding.render() for finding, _ in results]
+    noun = "finding" if len(results) == 1 else "findings"
+    lines.append(f"{len(results)} {noun} in {scanned} files scanned")
+    return "\n".join(lines)
+
+
+def _render_json(results: List[Tuple[Finding, str]], scanned: int) -> str:
+    payload = {
+        "findings": [finding.to_json() for finding, _ in results],
+        "files_scanned": scanned,
+        "rules": sorted(RULES),
+    }
+    return json.dumps(payload, indent=2)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Argument parser shared by ``athena-repro lint`` and ``-m`` entry."""
+    parser = argparse.ArgumentParser(
+        prog="athena-lint",
+        description="Static analysis enforcing simulator determinism and "
+        "unit-safety invariants (rules ATH001-ATH006).",
+    )
+    parser.add_argument("paths", nargs="*",
+                        help="files/directories to lint (default: from "
+                             "[tool.athena-lint] paths, else src + examples)")
+    parser.add_argument("--root", default=".",
+                        help="project root holding pyproject.toml")
+    parser.add_argument("--format", choices=("text", "json"), default="text")
+    parser.add_argument("--output", default=None, metavar="FILE",
+                        help="also write the report to FILE (for CI "
+                             "annotation; '-' keeps stdout only)")
+    parser.add_argument("--select", default=None, metavar="IDS",
+                        help="comma-separated rule ids to run (default: all)")
+    parser.add_argument("--baseline", default=None, metavar="FILE",
+                        help="baseline file of grandfathered findings")
+    parser.add_argument("--write-baseline", default=None, metavar="FILE",
+                        help="write current findings as a baseline and exit 0")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalogue and exit")
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.id}  {rule.name}: {rule.summary}")
+        return 0
+    root = Path(args.root).resolve()
+    if not root.is_dir():
+        print(f"athena-lint: root {args.root!r} is not a directory",
+              file=sys.stderr)
+        return 2
+    rule_ids = None
+    if args.select:
+        rule_ids = [part.strip() for part in args.select.split(",") if part.strip()]
+        unknown = [rid for rid in rule_ids if rid not in RULES]
+        if unknown:
+            print(f"athena-lint: unknown rule ids: {', '.join(unknown)}",
+                  file=sys.stderr)
+            return 2
+    missing = [p for p in args.paths if not (root / p).resolve().exists()]
+    if missing:
+        print(f"athena-lint: no such path(s): {', '.join(missing)}",
+              file=sys.stderr)
+        return 2
+    baseline = Path(args.baseline) if args.baseline else None
+    results, scanned = lint_paths(
+        root,
+        paths=args.paths or None,
+        rule_ids=rule_ids,
+        baseline_path=baseline,
+    )
+    if args.write_baseline:
+        write_baseline(Path(args.write_baseline), results)
+        print(f"wrote {len(results)} findings to {args.write_baseline}")
+        return 0
+    report = (
+        _render_json(results, scanned)
+        if args.format == "json"
+        else _render_text(results, scanned)
+    )
+    print(report)
+    if args.output and args.output != "-":
+        Path(args.output).write_text(report + "\n", encoding="utf-8")
+    return 1 if results else 0

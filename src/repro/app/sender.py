@@ -154,10 +154,10 @@ class VcaSender:
             if mode is not previous:
                 self.mode_series.append((now, mode))
         if self.fixed_bitrate_kbps is None:
-            loss_rate = self._loss_based.on_loss_report(feedback.loss_ratio)
-            video_rate = (
-                min(feedback.estimated_rate_kbps, loss_rate)
+            loss_cap_kbps = self._loss_based.on_loss_report(feedback.loss_ratio)
+            video_rate_kbps = (
+                min(feedback.estimated_rate_kbps, loss_cap_kbps)
                 - self.audio_kbps_estimate
             )
-            self.encoder.set_target_bitrate(video_rate)
+            self.encoder.set_target_bitrate(video_rate_kbps)
             self.rate_series.append((now, self.encoder.target_bitrate_kbps))

@@ -149,14 +149,14 @@ def run_session(config: ScenarioConfig) -> SessionResult:
             )
         uplink = RanUplink(ran, MONITORED_UE_ID)
     else:
-        rate = config.emulated_rate_kbps
-        if rate <= 0 and config.emulated_capacity_series is None:
+        rate_kbps = config.emulated_rate_kbps
+        if rate_kbps <= 0 and config.emulated_capacity_series is None:
             # The paper sizes the tc baseline from the cell's TB capacity.
-            rate = RanSimulator(Simulator(), config.ran).nominal_ul_capacity_kbps()
+            rate_kbps = RanSimulator(Simulator(), config.ran).nominal_ul_capacity_kbps()
         uplink = EmulatedUplink(
             EmulatedLink(
                 sim,
-                rate_kbps=rate,
+                rate_kbps=rate_kbps,
                 latency_us=config.emulated_latency_us,
                 capacity_series=config.emulated_capacity_series,
             )

@@ -282,7 +282,7 @@ class GccEstimator:
             slope, self._trendline.num_deltas, cur.last_arrival_us
         )
         incoming = self.incoming_rate_kbps(cur.last_arrival_us)
-        rate = self._aimd.update(signal, incoming, cur.last_arrival_us)
+        rate_kbps = self._aimd.update(signal, incoming, cur.last_arrival_us)
         self.history.samples.append(
             EstimatorSample(
                 index=self._sample_index,
@@ -293,7 +293,7 @@ class GccEstimator:
                 threshold=self._detector.threshold,
                 signal=signal,
                 state=self._aimd.state,
-                rate_kbps=rate,
+                rate_kbps=rate_kbps,
             )
         )
         self._sample_index += 1

@@ -61,9 +61,9 @@ class ScreamEstimator:
             self._last_update_us = arrival.arrival_us
 
     def estimated_rate_kbps(self) -> float:
-        """Media rate implied by the current window and assumed RTT."""
-        rate = self.cwnd_bytes * 8 / (self.config.assumed_rtt_ms / 1_000.0) / 1_000.0
-        return min(self.config.max_rate_kbps, max(self.config.min_rate_kbps, rate))
+        """Media rate_kbps implied by the current window and assumed RTT."""
+        rate_kbps = self.cwnd_bytes * 8 / (self.config.assumed_rtt_ms / 1_000.0) / 1_000.0
+        return min(self.config.max_rate_kbps, max(self.config.min_rate_kbps, rate_kbps))
 
     # ------------------------------------------------------------------
     def _update(self, now_us: TimeUs) -> None:
@@ -71,12 +71,12 @@ class ScreamEstimator:
         if not self._owd_samples or self._base_owd_ms is None:
             return
         recent = [owd for _, owd in self._owd_samples]
-        queue_delay = max(0.0, sum(recent) / len(recent) - self._base_owd_ms)
-        self.last_queue_delay_ms = queue_delay
-        if queue_delay <= cfg.queue_delay_target_ms:
+        queue_delay_ms = max(0.0, sum(recent) / len(recent) - self._base_owd_ms)
+        self.last_queue_delay_ms = queue_delay_ms
+        if queue_delay_ms <= cfg.queue_delay_target_ms:
             self._over_target_since_us = None
             # Proportional increase, stronger the further below target.
-            headroom = 1.0 - queue_delay / cfg.queue_delay_target_ms
+            headroom = 1.0 - queue_delay_ms / cfg.queue_delay_target_ms
             self.cwnd_bytes += cfg.gain_up * headroom * 1_500.0
         else:
             if self._over_target_since_us is None:

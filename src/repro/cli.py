@@ -210,6 +210,14 @@ def build_parser() -> argparse.ArgumentParser:
                             help="duration multiplier toward paper scale")
     everything.set_defaults(fn=_cmd_reproduce_all)
 
+    # `lint` is dispatched before argparse in main() so the analyzer owns its
+    # whole argument vector; registered here only so -h lists it.
+    sub.add_parser(
+        "lint",
+        help="run athena-lint (determinism & unit-safety rules ATH001-ATH006)",
+        add_help=False,
+    )
+
     sweep = sub.add_parser("sweep", help="run a design-choice ablation")
     sweep.add_argument("name", help="proactive|bsr-delay|bler|duplexing|"
                                     "scheduler-policy|rlc-mode")
@@ -220,6 +228,11 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv=None) -> int:
     """CLI entry point."""
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv[:1] == ["lint"]:
+        from .analysis import main as lint_main
+
+        return lint_main(argv[1:])
     args = build_parser().parse_args(argv)
     try:
         return args.fn(args)

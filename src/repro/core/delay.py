@@ -50,13 +50,13 @@ def owd_series(
         if kinds is not None and packet.kind not in kinds:
             continue
         t_src = packet.capture_at(src)
-        delay = packet.one_way_delay_us(src, dst)
-        if t_src is None or delay is None:
+        delay_us = packet.one_way_delay_us(src, dst)
+        if t_src is None or delay_us is None:
             continue
         points.append(
             OwdPoint(
                 send_us=t_src,
-                owd_ms=us_to_ms(delay),
+                owd_ms=us_to_ms(delay_us),
                 kind=packet.kind,
                 packet_id=packet.packet_id,
             )
@@ -71,8 +71,8 @@ def probe_owd_series(probes: Iterable[ProbeRecord]) -> List[Tuple[TimeUs, float]
     for probe in probes:
         if probe.received_us is None:
             continue
-        rtt = probe.received_us - probe.sent_us
-        series.append((probe.sent_us, us_to_ms(rtt) / 2.0))
+        rtt_us = probe.received_us - probe.sent_us
+        series.append((probe.sent_us, us_to_ms(rtt_us) / 2.0))
     series.sort()
     return series
 

@@ -182,12 +182,12 @@ def diagnose_frame(
     if not core_times:
         return None
     spread_ms = us_to_ms(max(core_times) - min(core_times))
-    max_delay = max(delays)
+    max_delay_ms = max(delays)
 
     cause = DelayCause.NONE
-    if harq_rounds > 0 and max_delay >= harq_rtt_ms:
+    if harq_rounds > 0 and max_delay_ms >= harq_rtt_ms:
         cause = DelayCause.HARQ_RETX
-    elif max_delay > 3.0 * harq_rtt_ms:
+    elif max_delay_ms > 3.0 * harq_rtt_ms:
         cause = DelayCause.QUEUEING
     elif spread_ms >= ul_period_ms:
         cause = DelayCause.SCHEDULING_SPREAD
@@ -195,7 +195,7 @@ def diagnose_frame(
         frame_id=frame.frame_id,
         stream=frame.stream,
         spread_ms=spread_ms,
-        max_packet_delay_ms=max_delay,
+        max_packet_delay_ms=max_delay_ms,
         harq_rounds=harq_rounds,
         proactive_bytes=proactive_bytes,
         requested_bytes=requested_bytes,

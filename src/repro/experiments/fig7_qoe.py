@@ -63,10 +63,10 @@ def run_fig7(
     assert result_5g.ran is not None
     granted = result_5g.ran.mean_granted_kbps()
     nominal = result_5g.ran.nominal_ul_capacity_kbps()
-    rate = granted if granted > 0 else nominal
+    rate_kbps = granted if granted > 0 else nominal
 
     config_emu = emulated_scenario(
-        duration_s=duration_s, seed=seed, rate_kbps=rate
+        duration_s=duration_s, seed=seed, rate_kbps=rate_kbps
     )
     if replay_capacity:
         window = result_5g.ran.config.capacity_window_us
@@ -78,5 +78,5 @@ def run_fig7(
     return Fig7Result(
         qoe_5g=result_5g.qoe(),
         qoe_emulated=result_emu.qoe(),
-        emulated_rate_kbps=rate,
+        emulated_rate_kbps=rate_kbps,
     )

@@ -55,11 +55,11 @@ class Fig8Result:
         """Bench-ready report: transitions and per-phase frame rates."""
         rows = [[f"{t:.1f}", mode.value] for t, mode in self.mode_transitions]
         table = format_table(["time (s)", "mode"], rows)
-        duration = self.series.window_s[-1] if self.series.window_s else 0.0
+        duration_s = self.series.window_s[-1] if self.series.window_s else 0.0
         phases = [
-            ("pre-overload", 0.0, duration / 3),
-            ("overload", duration / 3, 2 * duration / 3),
-            ("recovery", 2 * duration / 3, duration + 1),
+            ("pre-overload", 0.0, duration_s / 3),
+            ("overload", duration_s / 3, 2 * duration_s / 3),
+            ("recovery", 2 * duration_s / 3, duration_s + 1),
         ]
         phase_rows = [
             [name, self.fps_during(a, b)] for name, a, b in phases

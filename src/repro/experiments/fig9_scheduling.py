@@ -151,13 +151,13 @@ def run_fig9b(
     for packet in result.trace.packets:
         if packet.kind != MediaKind.VIDEO or packet.ran is None:
             continue
-        owd = packet.one_way_delay_us(CapturePoint.SENDER, CapturePoint.CORE)
-        if owd is None:
+        owd_us = packet.one_way_delay_us(CapturePoint.SENDER, CapturePoint.CORE)
+        if owd_us is None:
             continue
         if packet.ran.harq_rounds == 1:
-            inflated.append(us_to_ms(owd))
+            inflated.append(us_to_ms(owd_us))
         elif packet.ran.harq_rounds == 0:
-            clean.append(us_to_ms(owd))
+            clean.append(us_to_ms(owd_us))
     tbs = result.trace.transport_blocks
     return Fig9bResult(
         timeline=timeline,

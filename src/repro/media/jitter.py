@@ -112,12 +112,12 @@ class AdaptiveJitterBuffer:
         frame.rendered_us = render_us
         if self._last_render is not None:
             prev_frame, prev_render = self._last_render
-            duration = render_us - prev_render
+            duration_us = render_us - prev_render
             # Quantize to the 70 fps screen-capture grid, as the paper's
             # measurement pipeline would observe it.
-            samples = max(1, round(duration / SCREEN_SAMPLE_US))
+            samples = max(1, round(duration_us / SCREEN_SAMPLE_US))
             prev_frame.display_duration_us = samples * SCREEN_SAMPLE_US
-            if duration > self.stall_factor * self.nominal_frame_period_us:
+            if duration_us > self.stall_factor * self.nominal_frame_period_us:
                 prev_frame.stalled = True
                 self.stalls += 1
         self._last_render = (frame, render_us)

@@ -52,7 +52,7 @@ class RtpPacketizer:
         """Split one media unit into RTP packets (burst order preserved)."""
         if size_bytes <= 0:
             raise ValueError(f"media unit size must be positive: {size_bytes}")
-        timestamp = int(capture_us * self._clock_hz / US_PER_SEC)
+        timestamp_ticks = int(capture_us * self._clock_hz / US_PER_SEC)
         packets: List[PacketRecord] = []
         remaining = size_bytes
         first = True
@@ -66,7 +66,7 @@ class RtpPacketizer:
                     payload_bytes=payload,
                     ssrc=self.ssrc,
                     seq=self._seq,
-                    timestamp=timestamp,
+                    timestamp_ticks=timestamp_ticks,
                     frame_id=frame_id,
                     layer_id=layer_id,
                     marker=remaining == 0,
@@ -91,7 +91,7 @@ class FrameAssembly:
     min_seq: Optional[int] = None
     start_seq: Optional[int] = None  # seq of the frame-start packet
     marker_seq: Optional[int] = None
-    rtp_timestamp: Optional[int] = None
+    rtp_ticks: Optional[int] = None  # RTP media-clock timestamp
     packet_ids: List[int] = field(default_factory=list)
 
     @property
@@ -135,7 +135,7 @@ class FrameReassembler:
         assembly.packet_ids.append(packet.packet_id)
         assembly.received_count += 1
         assembly.received_bytes += packet.size_bytes
-        assembly.rtp_timestamp = rtp.timestamp
+        assembly.rtp_ticks = rtp.timestamp
         if assembly.first_arrival_us is None or arrival_us < assembly.first_arrival_us:
             assembly.first_arrival_us = arrival_us
         if assembly.last_arrival_us is None or arrival_us > assembly.last_arrival_us:

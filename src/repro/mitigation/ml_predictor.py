@@ -104,10 +104,10 @@ class PeriodicityPredictor:
         if not gaps:
             return None
         gaps.sort()
-        period = gaps[len(gaps) // 2]  # median is robust to skipped frames
+        period_us = gaps[len(gaps) // 2]  # median is robust to skipped frames
         phase = starts[-1]
-        next_burst = phase + period
-        return next_burst, period, int(self._size_estimate)
+        next_burst = phase + period_us
+        return next_burst, period_us, int(self._size_estimate)
 
     def refresh_schedule(self, schedule: MediaSchedule, now_us: TimeUs) -> bool:
         """Push the current estimate into a live MediaSchedule.

@@ -61,10 +61,10 @@ class DelayLink:
             self.packets_lost += 1
             packet.dropped = True
             return
-        delay = self.base_delay_us
+        delay_us = self.base_delay_us
         if self.jitter_std_us > 0:
-            delay += abs(self._rng.normal(0.0, self.jitter_std_us))
-        arrival = max(self._sim.now + int(delay), self._last_arrival)
+            delay_us += abs(self._rng.normal(0.0, self.jitter_std_us))
+        arrival = max(self._sim.now + int(delay_us), self._last_arrival)
         self._last_arrival = arrival
         self._sim.at(arrival, lambda: on_arrival(packet, arrival))
 
@@ -96,10 +96,10 @@ class ProcessingNode:
 
     def process(self, packet: PacketRecord, on_done: Arrival) -> None:
         """Apply one service-time draw, preserving FIFO order."""
-        delay = self.base_us + abs(self._rng.normal(0.0, self.jitter_std_us))
+        delay_us = self.base_us + abs(self._rng.normal(0.0, self.jitter_std_us))
         if self._rng.random() < self.tail_prob:
-            delay += self._rng.exponential(self.tail_mean_us)
-        departure = max(self._sim.now + int(delay), self._last_departure)
+            delay_us += self._rng.exponential(self.tail_mean_us)
+        departure = max(self._sim.now + int(delay_us), self._last_departure)
         self._last_departure = departure
         self._sim.at(departure, lambda: on_done(packet, departure))
 
@@ -137,13 +137,13 @@ class EmulatedLink:
     def _rate_at(self, now: TimeUs) -> float:
         if not self._series:
             return self.rate_kbps
-        rate = self._series[0][1]
+        rate_kbps = self._series[0][1]
         for start, kbps in self._series:
             if now >= start:
-                rate = kbps
+                rate_kbps = kbps
             else:
                 break
-        return max(rate, 1.0)
+        return max(rate_kbps, 1.0)
 
     def send(self, packet: PacketRecord, on_arrival: Arrival) -> None:
         """Enqueue ``packet`` for shaped transmission (tail-drop on overflow)."""
@@ -163,8 +163,8 @@ class EmulatedLink:
             return
         self._busy = True
         packet, on_arrival = self._queue[0]
-        rate = self._rate_at(self._sim.now)
-        tx_time = int(packet.size_bytes * 8 / (rate * 1_000) * US_PER_SEC)
+        rate_kbps = self._rate_at(self._sim.now)
+        tx_time_us = int(packet.size_bytes * 8 / (rate_kbps * 1_000) * US_PER_SEC)
 
         def finish() -> None:
             self._queue.popleft()
@@ -173,7 +173,7 @@ class EmulatedLink:
             self._sim.at(arrival, lambda: on_arrival(packet, arrival))
             self._serve_next()
 
-        self._sim.call_later(max(tx_time, 1), finish)
+        self._sim.call_later(max(tx_time_us, 1), finish)
 
     @property
     def queued_bytes(self) -> int:

@@ -26,7 +26,7 @@ def make_rtp_packet(
     payload_bytes: int,
     ssrc: int,
     seq: int,
-    timestamp: int,
+    timestamp_ticks: int,
     frame_id: int,
     layer_id: int,
     marker: bool,
@@ -43,7 +43,7 @@ def make_rtp_packet(
         rtp=RtpInfo(
             ssrc=ssrc,
             seq=seq,
-            timestamp=timestamp,
+            timestamp=timestamp_ticks,
             frame_id=frame_id,
             layer_id=layer_id,
             marker=marker,

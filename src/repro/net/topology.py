@@ -254,10 +254,10 @@ class CallTopology:
         base_us, jitter_us, spike_prob, spike_mean_us = params
 
         def one_way() -> int:
-            delay = base_us + abs(rng.normal(0.0, jitter_us))
+            delay_us = base_us + abs(rng.normal(0.0, jitter_us))
             if rng.random() < spike_prob:
-                delay += rng.exponential(spike_mean_us)
-            return int(delay)
+                delay_us += rng.exponential(spike_mean_us)
+            return int(delay_us)
 
         host_clock = self.clocks[point]
         core_clock = self.clocks[CapturePoint.CORE]

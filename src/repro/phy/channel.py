@@ -100,18 +100,18 @@ class GaussMarkovChannel:
         self.bler_slope = bler_slope
         self.target_bler = target_bler
         self._snr_db = mean_snr_db
-        self._last_time: TimeUs = -1
+        self._last_time_us: TimeUs = -1
 
     def sample(self, time_us: TimeUs) -> ChannelState:
         """Advance the SNR process and return the state for this slot."""
-        if time_us > self._last_time:
+        if time_us > self._last_time_us:
             noise = self._rng.standard_normal()
             self._snr_db = (
                 self.mean_snr_db
                 + self.rho * (self._snr_db - self.mean_snr_db)
                 + self.sigma_db * math.sqrt(1.0 - self.rho**2) * noise
             )
-            self._last_time = time_us
+            self._last_time_us = time_us
         mcs = mcs_for_snr(self.mean_snr_db - self.margin_db)
         bler = self._bler_at(self._snr_db, mcs)
         return ChannelState(snr_db=self._snr_db, mcs=mcs, bler=bler)

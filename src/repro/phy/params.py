@@ -127,9 +127,9 @@ class CrossTrafficConfig:
     burst_off_ms: float = 40.0
 
     def rate_at(self, time_us: TimeUs) -> float:
-        """Aggregate offered rate (kbps) at ``time_us``."""
-        rate = 0.0
+        """Aggregate offered rate_kbps (kbps) at ``time_us``."""
+        rate_kbps = 0.0
         for phase in self.phases:
             if time_us >= phase.start_us:
-                rate = phase.rate_kbps
-        return rate
+                rate_kbps = phase.rate_kbps
+        return rate_kbps

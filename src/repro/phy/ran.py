@@ -64,7 +64,7 @@ class RanSimulator:
         self._ues: Dict[int, UePhy] = {}
         self.tb_log: List[TransportBlockRecord] = []
         self._record_tb_window = record_tb_window
-        self._capacity: Dict[int, CapacityWindow] = {}
+        self._capacity_windows: Dict[int, CapacityWindow] = {}
         self._slot_loop_started = False
 
     # ------------------------------------------------------------------
@@ -165,7 +165,7 @@ class RanSimulator:
     # ------------------------------------------------------------------
     def capacity_series(self) -> List[CapacityWindow]:
         """Granted/used capacity per accounting window, time-ordered."""
-        return [self._capacity[k] for k in sorted(self._capacity)]
+        return [self._capacity_windows[k] for k in sorted(self._capacity_windows)]
 
     def mean_granted_kbps(self) -> float:
         """Average granted uplink capacity over the run."""
@@ -242,9 +242,9 @@ class RanSimulator:
     def _account_capacity(self, slot_us: TimeUs, tb: TransportBlockRecord) -> None:
         window_us = self.config.capacity_window_us
         key = slot_us // window_us
-        window = self._capacity.get(key)
+        window = self._capacity_windows.get(key)
         if window is None:
             window = CapacityWindow(start_us=key * window_us)
-            self._capacity[key] = window
+            self._capacity_windows[key] = window
         window.granted_bits += tb.size_bits
         window.used_bits += tb.used_bits

@@ -48,13 +48,13 @@ def sniff(
     for tb in transport_blocks:
         if config.miss_rate > 0 and rng.random() < config.miss_rate:
             continue
-        jitter = 0
+        jitter_us = 0
         if config.timestamp_jitter_us > 0:
-            jitter = int(rng.normal(0.0, config.timestamp_jitter_us))
+            jitter_us = int(rng.normal(0.0, config.timestamp_jitter_us))
         observed.append(
             replace(
                 tb,
-                slot_us=tb.slot_us + jitter,
+                slot_us=tb.slot_us + jitter_us,
                 packet_ids=list(tb.packet_ids) if config.sees_payload else [],
                 failed_slot_us=list(tb.failed_slot_us),
             )

@@ -210,13 +210,13 @@ class UePhy:
 
         if is_first:
             telemetry.first_tb_us = slot_us
-            total_wait = slot_us - telemetry.enqueue_us
+            total_wait_us = slot_us - telemetry.enqueue_us
             first_opportunity = self._tdd.next_ul_slot_start(telemetry.enqueue_us)
-            alignment_wait = first_opportunity - telemetry.enqueue_us
+            alignment_wait_us = first_opportunity - telemetry.enqueue_us
             # Split the wait for the first TB into the unavoidable TDD
             # alignment part and the queueing/grant part (§3.1).
-            telemetry.sched_wait_us = min(total_wait, alignment_wait)
-            telemetry.queue_wait_us = total_wait - telemetry.sched_wait_us
+            telemetry.sched_wait_us = min(total_wait_us, alignment_wait_us)
+            telemetry.queue_wait_us = total_wait_us - telemetry.sched_wait_us
 
         if is_last:
             self._finalize_packet(packet, progress)

@@ -66,7 +66,9 @@ class RtpInfo:
 
     ssrc: int
     seq: int
-    timestamp: int
+    # RFC 3550 wire-format field name; unit is RTP media-clock ticks
+    # (90 kHz video / 48 kHz audio), not simulation time.
+    timestamp: int  # athena-lint: disable=ATH003
     frame_id: int
     layer_id: int = 0
     marker: bool = False

@@ -1,0 +1,13 @@
+"""Fixture: ATH001 wall-clock reads inside simulator code."""
+
+import time as t
+from datetime import datetime
+
+from time import sleep
+
+
+def stamp_event(event):
+    event.wall_us = int(t.time() * 1e6)  # line 10: time.time
+    event.label = datetime.now().isoformat()  # line 11: datetime.now
+    sleep(0.01)  # line 12: time.sleep
+    return event

@@ -1,0 +1,12 @@
+"""Fixture: ATH002 global RNG draws outside sim/random.py."""
+
+import random
+
+import numpy as np
+from numpy.random import default_rng
+
+
+def jitter_sample(scale_us):
+    rng = default_rng(42)  # line 10: ad-hoc seeded generator
+    base_us = np.random.normal(0.0, scale_us)  # line 11: module-level numpy
+    return base_us + random.random() * rng.normal()  # line 12: stdlib random

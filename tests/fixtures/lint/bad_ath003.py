@@ -1,0 +1,16 @@
+"""Fixture: ATH003 unitless time/rate names and bare float literals."""
+
+
+def schedule_burst(sim, delay, rate_kbps):  # line 4: param `delay`
+    timeout = delay * 2  # line 5: variable `timeout`
+    deadline_us = sim.now + timeout
+    if deadline_us > 2500.0:  # line 7: bare float vs *_us
+        return deadline_us - 0.5  # line 8: bare float combined with *_us
+    return deadline_us
+
+
+class Shaper:
+    drain_interval: int = 5  # line 13: field `drain_interval`
+
+    def __init__(self, sim):
+        self.latency = 15  # line 16: attribute `self.latency`

@@ -1,0 +1,9 @@
+"""Fixture: ATH004 float equality on simulation timestamps."""
+
+from repro.sim.units import us_to_ms
+
+
+def same_slot(slot_a_us, slot_b_us, render_ms):
+    if us_to_ms(slot_a_us) == render_ms:  # line 7: float conversion ==
+        return True
+    return slot_a_us != slot_b_us / 1_000  # line 9: timestamp != division

@@ -1,0 +1,14 @@
+"""Fixture: ATH005 mutable default arguments."""
+
+from collections import deque
+
+
+def collect(packet, seen=[]):  # line 6: list default
+    seen.append(packet)
+    return seen
+
+
+def index(records, by_id={}, pending=deque()):  # line 11: dict + deque defaults
+    for record in records:
+        by_id[record.packet_id] = record
+    return by_id, pending

@@ -13,7 +13,7 @@ import pytest
 
 def test_rtp_packet_size_includes_overhead():
     p = make_rtp_packet("v", MediaKind.VIDEO, payload_bytes=1_000, ssrc=1,
-                        seq=0, timestamp=0, frame_id=1, layer_id=0,
+                        seq=0, timestamp_ticks=0, frame_id=1, layer_id=0,
                         marker=False)
     assert p.size_bytes == 1_000 + RTP_OVERHEAD
     assert p.rtp is not None
@@ -23,7 +23,7 @@ def test_rtp_packet_size_includes_overhead():
 def test_rtp_packet_rejects_empty_payload():
     with pytest.raises(ValueError):
         make_rtp_packet("v", MediaKind.VIDEO, payload_bytes=0, ssrc=1,
-                        seq=0, timestamp=0, frame_id=1, layer_id=0,
+                        seq=0, timestamp_ticks=0, frame_id=1, layer_id=0,
                         marker=False)
 
 

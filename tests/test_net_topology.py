@@ -14,7 +14,7 @@ from repro.trace import CapturePoint, MediaKind
 def _video_packet(seq=0):
     return make_rtp_packet(
         flow_id="video", kind=MediaKind.VIDEO, payload_bytes=1_000,
-        ssrc=1, seq=seq, timestamp=0, frame_id=1, layer_id=0, marker=True,
+        ssrc=1, seq=seq, timestamp_ticks=0, frame_id=1, layer_id=0, marker=True,
     )
 
 

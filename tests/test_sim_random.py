@@ -48,3 +48,22 @@ def test_adding_stream_does_not_perturb_existing():
 def test_negative_seed_rejected():
     with pytest.raises(ValueError):
         RngStreams(-1)
+
+
+def test_same_name_same_draws_regardless_of_request_order():
+    # Substream identity depends only on (master_seed, name), so the order
+    # in which components ask for their streams cannot matter.
+    one = RngStreams(42)
+    one.stream("phy"), one.stream("media"), one.stream("net")
+    two = RngStreams(42)
+    two.stream("net"), two.stream("media"), two.stream("phy")
+    for name in ("phy", "media", "net"):
+        assert list(one.stream(name).random(4)) == list(
+            two.stream(name).random(4))
+
+
+def test_different_master_seed_changes_every_substream():
+    a = RngStreams(1)
+    b = RngStreams(2)
+    for name in ("phy", "media", "net", "cc"):
+        assert list(a.stream(name).random(4)) != list(b.stream(name).random(4))

@@ -41,6 +41,36 @@ def test_throughput_kbps():
 def test_throughput_rejects_nonpositive_duration():
     with pytest.raises(ValueError):
         units.throughput_kbps(100, 0)
+    with pytest.raises(ValueError):
+        units.throughput_kbps(100, -1_000)
+
+
+def test_throughput_zero_bytes_is_zero():
+    assert units.throughput_kbps(0, 1_000) == 0.0
+
+
+@pytest.mark.parametrize("half_ms,expected_us", [
+    (0.0005, 0),   # banker's rounding: ties go to the even microsecond
+    (0.0015, 2),
+    (0.0025, 2),
+    (0.0035, 4),
+])
+def test_ms_half_microsecond_boundaries(half_ms, expected_us):
+    assert units.ms(half_ms) == expected_us
+
+
+@pytest.mark.parametrize("half_s,expected_us", [
+    (0.000_000_5, 0),
+    (0.000_001_5, 2),
+    (0.000_002_5, 2),
+])
+def test_seconds_half_microsecond_boundaries(half_s, expected_us):
+    assert units.seconds(half_s) == expected_us
+
+
+def test_conversions_return_exact_ints():
+    assert isinstance(units.ms(2.5), int)
+    assert isinstance(units.seconds(0.75), int)
 
 
 @given(st.floats(min_value=0.001, max_value=1e6, allow_nan=False))
