@@ -4,9 +4,9 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: check lint lint-json test
+.PHONY: check lint lint-json test smoke
 
-check: lint test
+check: lint test smoke
 
 lint:
 	$(PYTHON) -m repro.analysis
@@ -16,3 +16,6 @@ lint-json:
 
 test:
 	$(PYTHON) -m pytest -x -q
+
+smoke:
+	$(PYTHON) -m repro sweep --smoke

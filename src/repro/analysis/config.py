@@ -26,6 +26,8 @@ DEFAULT_RULE_OPTIONS: Dict[str, Dict[str, object]] = {
     "ATH001": {"exempt": ["benchmarks"]},
     "ATH002": {"exempt": ["sim/random.py"]},
     "ATH006": {"exempt": ["sim/engine.py"]},
+    # The trace package owns the record lists (sinks, JSONL loader).
+    "ATH007": {"exempt": ["repro/trace/*.py"]},
 }
 
 

@@ -1,4 +1,4 @@
-"""The ATH001–ATH006 rule implementations.
+"""The ATH001–ATH007 rule implementations.
 
 Importing this package registers every rule with :mod:`repro.analysis.registry`.
 """
@@ -10,6 +10,7 @@ from . import (  # noqa: F401  (import for registration side effect)
     handlers,
     mutable_defaults,
     rng,
+    trace_append,
     unit_suffix,
     wallclock,
 )

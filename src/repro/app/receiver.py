@@ -50,6 +50,7 @@ class VcaReceiver:
             nominal_frame_period_us=CAPTURE_SLOT_US,
             min_margin_us=jitter_buffer_margin_us,
             beta=jitter_buffer_beta,
+            sink=topology.sink,
         )
         self._owd_window: Deque[Tuple[TimeUs, float]] = deque()
         # Per-SSRC (received count, min seq, max seq); HARQ can reorder
@@ -89,8 +90,10 @@ class VcaReceiver:
         elif packet.kind == MediaKind.AUDIO and packet.rtp is not None:
             frame = self.frames_by_id.get(packet.rtp.frame_id)
             if frame is not None and frame.rendered_us is None:
-                # Audio plays through a short fixed buffer.
+                # Audio plays through a short fixed buffer; no display
+                # accounting follows, so the record is terminal here.
                 frame.rendered_us = arrival_us + ms(40.0)
+                self.topology.sink.finalize(frame)
 
     def _track_loss(self, packet: PacketRecord) -> None:
         rtp = packet.rtp

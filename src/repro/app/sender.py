@@ -9,7 +9,6 @@ rate mode (Zoom's adaptation policy).
 
 from __future__ import annotations
 
-import itertools
 from typing import Dict, Optional
 
 import numpy as np
@@ -23,10 +22,9 @@ from ..media.svc import CAPTURE_SLOT_US, FpsMode, layer_for_slot, nominal_fps
 from ..net.topology import CallTopology
 from ..sim.engine import Simulator
 from ..sim.units import TimeUs, ms
+from ..trace.ids import new_frame_id
 from ..trace.schema import FrameRecord, MediaKind, PacketRecord
 from .adaptation import ZoomAdaptationPolicy
-
-_frame_ids = itertools.count(1)
 
 
 class VcaSender:
@@ -89,7 +87,7 @@ class VcaSender:
             return
         self.encoder.set_frame_rate(nominal_fps(self.mode))
         encoded = self.encoder.encode(layer)
-        frame_id = next(_frame_ids)
+        frame_id = new_frame_id()
         now = self.sim.now
         frame = FrameRecord(
             frame_id=frame_id,
@@ -106,7 +104,9 @@ class VcaSender:
         )
         frame.packet_ids = [p.packet_id for p in packets]
         self.frames_by_id[frame_id] = frame
-        self.topology.trace.frames.append(frame)
+        # Render/stall accounting lands at playout; the jitter buffer (or
+        # run teardown) finalizes the record.
+        self.topology.sink.emit("frame", frame, final=False)
         self._send_burst(packets)
 
     def _send_burst(self, packets) -> None:
@@ -122,7 +122,7 @@ class VcaSender:
 
     def _audio_tick(self) -> None:
         sample = self.audio.next_sample()
-        frame_id = next(_frame_ids)
+        frame_id = new_frame_id()
         now = self.sim.now
         frame = FrameRecord(
             frame_id=frame_id,
@@ -138,7 +138,7 @@ class VcaSender:
         )
         frame.packet_ids = [p.packet_id for p in packets]
         self.frames_by_id[frame_id] = frame
-        self.topology.trace.frames.append(frame)
+        self.topology.sink.emit("frame", frame, final=False)
         for packet in packets:
             self.topology.send_media(packet)
 

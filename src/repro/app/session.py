@@ -1,256 +1,39 @@
 """End-to-end call sessions: the paper's experiments as one config object.
 
-:func:`run_session` assembles a complete experiment — access network (5G
-RAN or emulated tc baseline), cross traffic, WAN/SFU path, VCA sender and
-receiver, optional mitigations — runs it, and returns the trace plus the
-live objects the analyses need.  Every figure's benchmark is a thin wrapper
-over a :class:`ScenarioConfig`.
+Historically this module held the whole session-assembly monolith.  That
+logic now lives in :mod:`repro.run` — :class:`~repro.run.builder.SessionBuilder`
+composes the access network, call path, endpoints, and mitigations as
+pluggable stages — and this module re-exports the stable public surface so
+``from repro.app.session import ScenarioConfig, run_session`` keeps working
+unchanged.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import Optional
 
-from ..cc.gcc import GccEstimator
-from ..cc.nada import NadaEstimator
-from ..cc.scream import ScreamEstimator
-from ..media.quality import QoeSummary, qoe_summary
-from ..media.svc import CAPTURE_SLOT_US, FpsMode
-from ..mitigation.aware_ran import AppAwareAdvisor, MediaSchedule
-from ..mitigation.ml_predictor import PeriodicityPredictor
-from ..net.links import EmulatedLink
-from ..net.topology import CallTopology, EmulatedUplink, PathConfig, RanUplink
-from ..phy.channel import FixedChannel, GaussMarkovChannel, PhasedChannel
-from ..phy.crosstraffic import attach_cross_traffic
-from ..phy.params import CrossTrafficConfig, RanConfig
-from ..phy.ran import RanSimulator
-from ..sim.engine import Simulator
-from ..sim.random import RngStreams
-from ..sim.units import TimeUs, ms, seconds
-from ..trace.schema import Trace
-from .adaptation import AdaptationConfig, ZoomAdaptationPolicy
-from .receiver import VcaReceiver
-from .sender import VcaSender
+from ..run.builder import SessionBuilder
+from ..run.scenario import (
+    MONITORED_UE_ID,
+    ScenarioConfig,
+    SessionResult,
+)
+from ..trace.bus import TraceSink
 
-MONITORED_UE_ID = 1
+__all__ = [
+    "MONITORED_UE_ID",
+    "ScenarioConfig",
+    "SessionResult",
+    "run_session",
+]
 
 
-@dataclass
-class ScenarioConfig:
-    """Everything needed to reproduce one experiment run."""
+def run_session(
+    config: ScenarioConfig, sink: Optional[TraceSink] = None
+) -> SessionResult:
+    """Build, run, and return one complete call session.
 
-    duration_s: float = 60.0
-    seed: int = 7
-    access: str = "5g"  # "5g" | "emulated"
-    ran: RanConfig = field(default_factory=RanConfig)
-    channel: str = "fixed"  # "fixed" | "gauss_markov"
-    cross_traffic: Optional[CrossTrafficConfig] = None
-    path: PathConfig = field(default_factory=PathConfig)
-    emulated_rate_kbps: float = 0.0  # 0 = use nominal RAN capacity
-    emulated_latency_us: TimeUs = ms(15.0)
-    # Optional (start_us, kbps) series replayed by the emulated shaper — the
-    # paper's "capacity calculated from the physical transport block sizes".
-    emulated_capacity_series: Optional[List[Tuple[TimeUs, float]]] = None
-    # Scripted (start_us, mcs, bler) phases for the monitored UE's channel;
-    # overrides ``channel`` when set (mobility episodes, Fig 8).
-    channel_phases: Optional[List[Tuple[TimeUs, int, float]]] = None
-    estimator: str = "gcc"  # "gcc" | "nada" | "scream"
-    adaptation: AdaptationConfig = field(default_factory=AdaptationConfig)
-    fixed_mode: Optional[FpsMode] = None
-    fixed_bitrate_kbps: Optional[float] = None
-    mask_ran_delay: bool = False  # §5.3 mitigation
-    aware_ran: bool = False  # §5.2 mitigation (metadata path)
-    aware_ran_learned: bool = False  # §5.2 mitigation (learning path)
-    aware_ran_suppress_proactive: bool = True
-    record_tbs: bool = True
-    record_tb_window: Optional[Tuple[TimeUs, TimeUs]] = None
-    record_grants: bool = False
-    start_prober: bool = True
-    time_sync: bool = False  # record NTP-style exchanges for offline sync
-    jitter_buffer_margin_ms: float = 10.0  # receiver playout margin
-    jitter_buffer_beta: float = 4.0  # jitter multiplier in the playout target
-
-    def __post_init__(self) -> None:
-        if self.access not in ("5g", "emulated"):
-            raise ValueError(f"unknown access type: {self.access}")
-        if self.estimator not in ("gcc", "nada", "scream"):
-            raise ValueError(f"unknown estimator: {self.estimator}")
-        if self.aware_ran and self.aware_ran_learned:
-            raise ValueError("choose metadata OR learned app-aware scheduling")
-
-
-@dataclass
-class SessionResult:
-    """Outputs of one run, ready for Athena and the QoE metrics."""
-
-    config: ScenarioConfig
-    trace: Trace
-    sim: Simulator
-    sender: VcaSender
-    receiver: VcaReceiver
-    topology: CallTopology
-    ran: Optional[RanSimulator]
-    advisor: Optional[AppAwareAdvisor] = None
-    predictor: Optional[PeriodicityPredictor] = None
-
-    def qoe(self) -> QoeSummary:
-        """Fig 7-style QoE aggregation of this run."""
-        return qoe_summary(self.trace.packets, self.trace.frames)
-
-
-def _make_estimator(kind: str):
-    if kind == "gcc":
-        return GccEstimator()
-    if kind == "nada":
-        return NadaEstimator()
-    return ScreamEstimator()
-
-
-def run_session(config: ScenarioConfig) -> SessionResult:
-    """Build, run, and return one complete call session."""
-    sim = Simulator()
-    rngs = RngStreams(config.seed)
-    trace = Trace(
-        metadata={
-            "access": config.access,
-            "duration_s": config.duration_s,
-            "seed": config.seed,
-            "estimator": config.estimator,
-        }
-    )
-
-    ran: Optional[RanSimulator] = None
-    advisor: Optional[AppAwareAdvisor] = None
-    predictor: Optional[PeriodicityPredictor] = None
-
-    if config.access == "5g":
-        ran = RanSimulator(
-            sim,
-            config.ran,
-            rngs,
-            record_tb_window=config.record_tb_window,
-            record_grants=config.record_grants,
-        )
-        if config.channel_phases is not None:
-            channel = PhasedChannel(config.channel_phases)
-        elif config.channel == "gauss_markov":
-            channel = GaussMarkovChannel(
-                rngs.stream("channel.ue1"), target_bler=config.ran.base_bler
-            )
-        else:
-            channel = FixedChannel(config.ran.default_mcs, config.ran.base_bler)
-        ran.add_ue(
-            MONITORED_UE_ID, channel=channel, record_tbs=config.record_tbs
-        )
-        if config.cross_traffic is not None:
-            attach_cross_traffic(
-                sim, ran, config.cross_traffic, rngs.stream("cross")
-            )
-        uplink = RanUplink(ran, MONITORED_UE_ID)
-    else:
-        rate_kbps = config.emulated_rate_kbps
-        if rate_kbps <= 0 and config.emulated_capacity_series is None:
-            # The paper sizes the tc baseline from the cell's TB capacity.
-            rate_kbps = RanSimulator(Simulator(), config.ran).nominal_ul_capacity_kbps()
-        uplink = EmulatedUplink(
-            EmulatedLink(
-                sim,
-                rate_kbps=rate_kbps,
-                latency_us=config.emulated_latency_us,
-                capacity_series=config.emulated_capacity_series,
-            )
-        )
-
-    topology = CallTopology(
-        sim,
-        uplink,
-        rng=rngs.stream("path"),
-        config=config.path,
-        trace=trace,
-        ran_for_feedback=ran,
-        feedback_ue_id=MONITORED_UE_ID if ran is not None else None,
-    )
-
-    sender = VcaSender(
-        sim,
-        topology,
-        rngs.stream("media"),
-        policy=ZoomAdaptationPolicy(config.adaptation),
-        fixed_mode=config.fixed_mode,
-        fixed_bitrate_kbps=config.fixed_bitrate_kbps,
-    )
-    receiver = VcaReceiver(
-        sim,
-        topology,
-        sender.frames_by_id,
-        estimator=_make_estimator(config.estimator),
-        mask_ran_delay=config.mask_ran_delay,
-        jitter_buffer_margin_us=ms(config.jitter_buffer_margin_ms),
-        jitter_buffer_beta=config.jitter_buffer_beta,
-    )
-
-    if (config.aware_ran or config.aware_ran_learned) and ran is not None:
-        schedule = MediaSchedule(
-            next_frame_us=0,
-            frame_period_us=CAPTURE_SLOT_US,
-            frame_size_bytes=int(
-                sender.encoder.target_bitrate_kbps * 1_000 / 8 / 28.0
-            ),
-        )
-        advisor = AppAwareAdvisor(
-            config.ran,
-            ran.tdd,
-            MONITORED_UE_ID,
-            schedule,
-            suppress_proactive_grants=config.aware_ran_suppress_proactive,
-        )
-        ran.set_grant_advisor(advisor)
-        if config.aware_ran_learned:
-            predictor = PeriodicityPredictor()
-            topology.media_send_listeners.append(
-                lambda packet, t: predictor.observe(t, packet.size_bytes)
-            )
-            sim.every(ms(500.0), lambda: predictor.refresh_schedule(schedule, sim.now))
-        else:
-            # Metadata path: the app announces its frame clock and keeps the
-            # size estimate fresh (the periodically-updated RTP extension).
-            from ..media.svc import frame_period_us, nominal_fps
-
-            def refresh_from_app() -> None:
-                schedule.frame_period_us = frame_period_us(sender.mode)
-                schedule.frame_size_bytes = int(
-                    sender.encoder.target_bitrate_kbps
-                    * 1_000 / 8 / nominal_fps(sender.mode)
-                )
-                schedule.advance_to(sim.now)
-
-            sim.every(ms(100.0), refresh_from_app)
-
-    sender.start()
-    receiver.start()
-    if config.start_prober:
-        topology.start_prober()
-    if config.time_sync:
-        trace.metadata["clock_offsets_us"] = dict(
-            config.path.clock_offsets_us
-        )
-        topology.start_time_sync(rngs.stream("timesync"))
-
-    sim.run_until(seconds(config.duration_s))
-
-    if ran is not None:
-        trace.transport_blocks.extend(ran.tb_log)
-        trace.grants.extend(ran.scheduler.grant_log)
-
-    return SessionResult(
-        config=config,
-        trace=trace,
-        sim=sim,
-        sender=sender,
-        receiver=receiver,
-        topology=topology,
-        ran=ran,
-        advisor=advisor,
-        predictor=predictor,
-    )
+    Thin facade over :class:`~repro.run.builder.SessionBuilder`; pass
+    ``sink`` to redirect telemetry (e.g. a streaming sink for long runs).
+    """
+    return SessionBuilder(config, sink=sink).run()

@@ -141,6 +141,8 @@ def _cmd_reproduce_all(args: argparse.Namespace) -> int:
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
+    if args.smoke or args.name is None:
+        return _sweep_seed_grid(args)
     from . import experiments
 
     sweeps: Dict[str, Callable] = {
@@ -156,7 +158,47 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         print(f"unknown sweep {args.name!r}; choose from "
               f"{', '.join(sorted(sweeps))}", file=sys.stderr)
         return 2
-    print(sweep(duration_s=args.duration or 20.0).summary())
+    print(sweep(duration_s=args.duration or 20.0, jobs=args.jobs).summary())
+    return 0
+
+
+def _sweep_seed_grid(args: argparse.Namespace) -> int:
+    """Run a seed × access grid through the parallel batch executor."""
+    from .core.report import format_table
+    from .run import collect_summary, run_batch, sweep_grid
+    from .run.scenario import ScenarioConfig
+
+    if args.smoke:
+        # CI smoke: a 2×2 grid of very short runs exercising both access
+        # kinds end to end through the multi-process executor.
+        seeds = [int(s) for s in (args.seeds or "7,8").split(",")]
+        accesses = (args.access or "5g,emulated").split(",")
+        duration_s = args.duration or 2.0
+    else:
+        seeds = [int(s) for s in (args.seeds or "7").split(",")]
+        accesses = (args.access or "5g").split(",")
+        duration_s = args.duration or 10.0
+    base = ScenarioConfig(duration_s=duration_s, record_tbs=False)
+    variants = {kind: {"access": kind} for kind in accesses}
+    specs = sweep_grid(base, seeds, variants)
+    print(f"Running {len(specs)} sessions "
+          f"({len(accesses)} access x {len(seeds)} seeds, "
+          f"{duration_s:.0f} s each) ...")
+    runs = run_batch(specs, collect=collect_summary, jobs=args.jobs)
+    rows = [
+        [
+            run.label,
+            run.value["packets"],
+            run.value["bitrate_kbps"],
+            run.value["fps"],
+            run.value["stalls"],
+        ]
+        for run in runs
+    ]
+    print(format_table(
+        ["run", "packets", "bitrate (kbps, p50)", "fps (p50)", "stalls"],
+        rows,
+    ))
     return 0
 
 
@@ -218,10 +260,25 @@ def build_parser() -> argparse.ArgumentParser:
         add_help=False,
     )
 
-    sweep = sub.add_parser("sweep", help="run a design-choice ablation")
-    sweep.add_argument("name", help="proactive|bsr-delay|bler|duplexing|"
-                                    "scheduler-policy|rlc-mode")
+    sweep = sub.add_parser(
+        "sweep",
+        help="run a design-choice ablation, or a seed x access grid "
+             "through the parallel batch executor",
+    )
+    sweep.add_argument("name", nargs="?", default=None,
+                       help="ablation: proactive|bsr-delay|bler|duplexing|"
+                            "scheduler-policy|rlc-mode; omit for a "
+                            "seed x access grid")
     sweep.add_argument("--duration", type=float, default=None)
+    sweep.add_argument("--jobs", type=int, default=None,
+                       help="worker processes (default: one per CPU)")
+    sweep.add_argument("--seeds", default=None, metavar="S1,S2,...",
+                       help="grid mode: comma-separated seeds")
+    sweep.add_argument("--access", default=None, metavar="KIND1,KIND2",
+                       help="grid mode: comma-separated access kinds")
+    sweep.add_argument("--smoke", action="store_true",
+                       help="CI smoke grid: 2 seeds x both access kinds, "
+                            "2 s runs")
     sweep.set_defaults(fn=_cmd_sweep)
     return parser
 

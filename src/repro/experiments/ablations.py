@@ -12,13 +12,15 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..app.session import run_session
 from ..core.report import format_table
 from ..phy.params import RanConfig
+from ..run.batch import RunSpec, run_batch
+from ..run.scenario import ScenarioConfig, SessionResult
 from ..sim.units import ms, us_to_ms
 from ..trace.schema import CapturePoint
 from .common import idle_cell_scenario
@@ -53,10 +55,10 @@ class AblationResult:
         )
 
 
-def _measure(config) -> AblationPoint:
+def collect_ablation_point(result: SessionResult) -> AblationPoint:
+    """Batch collector: reduce one run to its uplink-delay statistics."""
     from ..core.api import AthenaSession
 
-    result = run_session(config)
     athena = AthenaSession(result.trace)
     owds = [
         us_to_ms(d)
@@ -73,80 +75,113 @@ def _measure(config) -> AblationPoint:
     )
 
 
-def sweep_proactive(duration_s: float = 20.0, seed: int = 7) -> AblationResult:
-    """Proactive grants on vs off (SR+BSR only)."""
-    result = AblationResult(name="proactive grants")
-    for enabled in (True, False):
-        ran = RanConfig(proactive_grants=enabled)
-        point = _measure(
-            idle_cell_scenario(duration_s=duration_s, seed=seed, ran=ran,
-                               record_tbs=False)
-        )
-        point.label = "proactive" if enabled else "BSR/SR only"
-        result.points.append(point)
+def _measure(config) -> AblationPoint:
+    return collect_ablation_point(run_session(config))
+
+
+def _sweep(
+    name: str,
+    labeled: Sequence[Tuple[str, ScenarioConfig]],
+    jobs: Optional[int] = None,
+) -> AblationResult:
+    """Execute one sweep's configurations through the batch executor."""
+    runs = run_batch(
+        [RunSpec(label, config) for label, config in labeled],
+        collect=collect_ablation_point,
+        jobs=jobs,
+    )
+    result = AblationResult(name=name)
+    for run in runs:
+        run.value.label = run.label
+        result.points.append(run.value)
     return result
+
+
+def sweep_proactive(
+    duration_s: float = 20.0, seed: int = 7, jobs: Optional[int] = None
+) -> AblationResult:
+    """Proactive grants on vs off (SR+BSR only)."""
+    labeled = [
+        (
+            "proactive" if enabled else "BSR/SR only",
+            idle_cell_scenario(
+                duration_s=duration_s, seed=seed,
+                ran=RanConfig(proactive_grants=enabled), record_tbs=False,
+            ),
+        )
+        for enabled in (True, False)
+    ]
+    return _sweep("proactive grants", labeled, jobs=jobs)
 
 
 def sweep_bsr_delay(
     duration_s: float = 20.0,
     seed: int = 7,
     delays_ms: Sequence[float] = (5.0, 10.0, 20.0),
+    jobs: Optional[int] = None,
 ) -> AblationResult:
     """BSR scheduling-delay sweep."""
-    result = AblationResult(name="BSR scheduling delay")
+    labeled = []
     for delay in delays_ms:
         # Clean channel and a fixed large bitrate so the BSR loop (not HARQ
         # or rate adaptation) is the only moving part.
         ran = RanConfig(bsr_sched_delay_us=ms(delay), sr_sched_delay_us=ms(delay),
                         base_bler=0.0, retx_bler=0.0)
-        point = _measure(
+        labeled.append((
+            f"{delay:.0f} ms",
             idle_cell_scenario(duration_s=duration_s, seed=seed, ran=ran,
-                               fixed_bitrate_kbps=1_200.0, record_tbs=False)
-        )
-        point.label = f"{delay:.0f} ms"
-        result.points.append(point)
-    return result
+                               fixed_bitrate_kbps=1_200.0, record_tbs=False),
+        ))
+    return _sweep("BSR scheduling delay", labeled, jobs=jobs)
 
 
 def sweep_bler(
     duration_s: float = 20.0,
     seed: int = 7,
     blers: Sequence[float] = (0.0, 0.08, 0.25),
+    jobs: Optional[int] = None,
 ) -> AblationResult:
     """HARQ failure-probability sweep."""
-    result = AblationResult(name="block error rate")
-    for bler in blers:
-        ran = RanConfig(base_bler=bler, retx_bler=bler)
-        point = _measure(
-            idle_cell_scenario(duration_s=duration_s, seed=seed, ran=ran,
-                               record_tbs=False)
+    labeled = [
+        (
+            f"BLER {bler:.2f}",
+            idle_cell_scenario(
+                duration_s=duration_s, seed=seed,
+                ran=RanConfig(base_bler=bler, retx_bler=bler),
+                record_tbs=False,
+            ),
         )
-        point.label = f"BLER {bler:.2f}"
-        result.points.append(point)
-    return result
+        for bler in blers
+    ]
+    return _sweep("block error rate", labeled, jobs=jobs)
 
 
-def sweep_duplexing(duration_s: float = 20.0, seed: int = 7) -> AblationResult:
+def sweep_duplexing(
+    duration_s: float = 20.0, seed: int = 7, jobs: Optional[int] = None
+) -> AblationResult:
     """TDD-pattern / FDD sweep (§5.1)."""
-    result = AblationResult(name="duplexing strategy")
     configs: Dict[str, RanConfig] = {
         "TDD DDDSU (UL/2.5ms)": RanConfig(tdd_pattern="DDDSU"),
         "TDD DDSUU (2xUL/2.5ms)": RanConfig(tdd_pattern="DDSUU"),
         "TDD DDDDDDDDSU (UL/5ms)": RanConfig(tdd_pattern="DDDDDDDDSU"),
         "FDD (UL every slot)": RanConfig(fdd=True),
     }
-    for label, ran in configs.items():
-        point = _measure(
+    labeled = [
+        (
+            label,
             idle_cell_scenario(duration_s=duration_s, seed=seed, ran=ran,
-                               record_tbs=False)
+                               record_tbs=False),
         )
-        point.label = label
-        result.points.append(point)
-    return result
+        for label, ran in configs.items()
+    ]
+    return _sweep("duplexing strategy", labeled, jobs=jobs)
 
 
 def sweep_scheduler_policy(
-    duration_s: float = 30.0, seed: int = 7, overload_mbps: float = 34.0
+    duration_s: float = 30.0,
+    seed: int = 7,
+    overload_mbps: float = 34.0,
+    jobs: Optional[int] = None,
 ) -> AblationResult:
     """Grant-serving policy under overload: round-robin vs cell-wide FIFO.
 
@@ -157,7 +192,7 @@ def sweep_scheduler_policy(
     from ..phy.params import CrossTrafficConfig, CrossTrafficPhase
     from ..sim.units import seconds
 
-    result = AblationResult(name="requested-grant serving policy (overload)")
+    labeled = []
     for policy in ("round_robin", "fifo"):
         ran = RanConfig(scheduler_policy=policy)
         config = idle_cell_scenario(duration_s=duration_s, seed=seed, ran=ran,
@@ -170,28 +205,34 @@ def sweep_scheduler_policy(
                 CrossTrafficPhase(2 * third, 8_000.0),
             ]
         )
-        point = _measure(config)
-        point.label = policy
-        result.points.append(point)
-    return result
+        labeled.append((policy, config))
+    return _sweep(
+        "requested-grant serving policy (overload)", labeled, jobs=jobs
+    )
 
 
 def sweep_rlc_mode(
-    duration_s: float = 20.0, seed: int = 7, bler: float = 0.45
+    duration_s: float = 20.0,
+    seed: int = 7,
+    bler: float = 0.45,
+    jobs: Optional[int] = None,
 ) -> AblationResult:
     """RLC UM vs AM on a bad channel: loss vs delay-tail tradeoff.
 
     UM (the low-latency media bearer) drops packets when HARQ exhausts;
     AM recovers them at the cost of multi-RTT delay inflation.
     """
-    result = AblationResult(name="RLC mode (bad channel)")
-    for mode in ("um", "am"):
-        ran = RanConfig(base_bler=bler, retx_bler=bler, max_harq_rounds=1,
-                        rlc_mode=mode, rlc_max_retx=6)
-        point = _measure(
-            idle_cell_scenario(duration_s=duration_s, seed=seed, ran=ran,
-                               fixed_bitrate_kbps=600.0, record_tbs=False)
+    labeled = [
+        (
+            f"RLC {mode.upper()}",
+            idle_cell_scenario(
+                duration_s=duration_s, seed=seed,
+                ran=RanConfig(base_bler=bler, retx_bler=bler,
+                              max_harq_rounds=1, rlc_mode=mode,
+                              rlc_max_retx=6),
+                fixed_bitrate_kbps=600.0, record_tbs=False,
+            ),
         )
-        point.label = f"RLC {mode.upper()}"
-        result.points.append(point)
-    return result
+        for mode in ("um", "am")
+    ]
+    return _sweep("RLC mode (bad channel)", labeled, jobs=jobs)

@@ -15,6 +15,7 @@ from typing import Callable, Deque, Dict, Optional, Tuple
 
 from ..sim.engine import Simulator
 from ..sim.units import TimeUs, ms
+from ..trace.bus import TraceSink
 from ..trace.schema import FrameRecord
 from .rtp import FrameAssembly
 
@@ -46,8 +47,10 @@ class AdaptiveJitterBuffer:
         transit_window_us: TimeUs = ms(2_000.0),
         stall_factor: float = 1.8,
         on_render: Optional[RenderCallback] = None,
+        sink: Optional[TraceSink] = None,
     ) -> None:
         self._sim = sim
+        self._sink = sink
         self.nominal_frame_period_us = nominal_frame_period_us
         self.min_margin_us = min_margin_us
         self.beta = beta
@@ -120,6 +123,10 @@ class AdaptiveJitterBuffer:
             if duration_us > self.stall_factor * self.nominal_frame_period_us:
                 prev_frame.stalled = True
                 self.stalls += 1
+            if self._sink is not None:
+                # Display accounting only lands when the *next* frame
+                # renders, so the previous record is terminal now.
+                self._sink.finalize(prev_frame)
         self._last_render = (frame, render_us)
         self.frames_rendered += 1
         if self.on_render is not None:

@@ -23,6 +23,7 @@ from ..core.timesync import HostClock
 from ..phy.ran import RanSimulator
 from ..sim.engine import Simulator
 from ..sim.units import TimeUs, ms
+from ..trace.bus import InMemorySink, TraceSink
 from ..trace.schema import CapturePoint, MediaKind, PacketRecord, ProbeRecord, Trace
 from .links import Arrival, DelayLink, EmulatedLink, ProcessingNode
 from .packet import make_probe_packet
@@ -96,12 +97,18 @@ class CallTopology:
         ran_for_feedback: Optional[RanSimulator] = None,
         feedback_ue_id: Optional[int] = None,
         record_packets: bool = True,
+        sink: Optional[TraceSink] = None,
     ) -> None:
         self.sim = sim
         self.uplink = uplink
         self.config = config or PathConfig()
-        self.trace = trace if trace is not None else Trace()
+        if sink is None:
+            sink = InMemorySink(trace if trace is not None else Trace())
+        self.sink = sink
+        # Legacy accessor: the collected Trace when the sink keeps one.
+        self.trace = sink.result_trace() or (trace if trace is not None else Trace())
         self.record_packets = record_packets
+        self._probe_count = 0
         self._ran_for_feedback = ran_for_feedback
         self._feedback_ue_id = feedback_ue_id
 
@@ -151,10 +158,16 @@ class CallTopology:
         """Inject a media packet at the sender (tap 1)."""
         self._stamp(packet, CapturePoint.SENDER)
         if self.record_packets and packet.kind in (MediaKind.VIDEO, MediaKind.AUDIO):
-            self.trace.packets.append(packet)
+            # Packets keep mutating (capture stamps, RAN telemetry) until the
+            # receiver tap or a drop; finalization follows at that point.
+            self.sink.emit("packet", packet, final=False)
         for listener in self.media_send_listeners:
             listener(packet, self.sim.now)
         self.uplink.send(packet, self._on_core)
+        if packet.dropped:
+            # Synchronous drop in the access shaper (queue overflow): the
+            # record has reached its terminal state already.
+            self.sink.finalize(packet)
 
     def _on_core(self, packet: PacketRecord, _arrival: TimeUs) -> None:
         self._stamp(packet, CapturePoint.CORE)
@@ -171,6 +184,7 @@ class CallTopology:
         self._stamp(packet, CapturePoint.RECEIVER)
         if self.on_media_arrival is not None:
             self.on_media_arrival(packet, arrival)
+        self.sink.finalize(packet)
 
     # ------------------------------------------------------------------
     # Feedback direction
@@ -202,12 +216,13 @@ class CallTopology:
         self.sim.every(self.config.icmp_interval_us, self._send_probe)
 
     def _send_probe(self) -> None:
-        packet = make_probe_packet(seq=len(self.trace.probes))
+        packet = make_probe_packet(seq=self._probe_count)
+        self._probe_count += 1
         record = ProbeRecord(
             probe_id=packet.packet_id,
             sent_us=self.clocks[CapturePoint.CORE].timestamp(self.sim.now),
         )
-        self.trace.probes.append(record)
+        self.sink.emit("probe", record, final=False)
 
         def reply(_pkt: PacketRecord, _t: TimeUs) -> None:
             self._probe_back.send(
@@ -219,6 +234,7 @@ class CallTopology:
 
     def _probe_done(self, record: ProbeRecord, arrival: TimeUs) -> None:
         record.received_us = self.clocks[CapturePoint.CORE].timestamp(arrival)
+        self.sink.finalize(record)
 
     # ------------------------------------------------------------------
     # NTP-style time synchronization (Athena step 2)
@@ -267,7 +283,8 @@ class CallTopology:
         proc = 100  # server-side turnaround
         from ..trace.schema import SyncExchangeRecord
 
-        self.trace.sync_exchanges.append(
+        self.sink.emit(
+            "sync",
             SyncExchangeRecord(
                 host=point.value,
                 t1=host_clock.timestamp(t_send),

@@ -2,14 +2,12 @@
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass, field
 from typing import Optional
 
 from ..sim.units import TimeUs
+from ..trace.ids import new_grant_id
 from ..trace.schema import TbKind
-
-_grant_ids = itertools.count(1)
 
 
 @dataclass
@@ -29,7 +27,7 @@ class PendingGrant:
     bsr_us: Optional[TimeUs] = None
     bsr_bytes: Optional[int] = None
     remaining_bits: int = field(init=False)
-    grant_id: int = field(default_factory=lambda: next(_grant_ids))
+    grant_id: int = field(default_factory=new_grant_id)
 
     def __post_init__(self) -> None:
         if self.size_bits <= 0:

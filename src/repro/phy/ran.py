@@ -17,12 +17,26 @@ from typing import Callable, Dict, List, Optional, Tuple
 from ..sim.engine import Simulator
 from ..sim.random import RngStreams
 from ..sim.units import TimeUs, US_PER_SEC
+from ..trace.bus import TraceSink
 from ..trace.schema import PacketRecord, TransportBlockRecord
 from .mcs import bits_per_prb
 from .params import RanConfig
 from .scheduler import GnbScheduler, GrantAdvisor
 from .tdd import TddFrame
 from .ue import PacketSink, UePhy
+
+
+def nominal_ul_capacity_kbps(config: RanConfig) -> float:
+    """Theoretical uplink capacity at the default MCS with full allocation.
+
+    Derived purely from the cell configuration — no simulator needed — so
+    emulated baselines can be sized before any run executes (Fig 7).
+    """
+    tdd = TddFrame(config.tdd_pattern, config.slot_us, fdd=config.fdd)
+    per_slot_bits = config.n_ul_prbs * bits_per_prb(
+        config.default_mcs, config.subcarriers_per_prb, config.data_symbols_per_slot
+    )
+    return per_slot_bits / (tdd.ul_period_us / US_PER_SEC) / 1_000
 
 
 @dataclass
@@ -52,6 +66,7 @@ class RanSimulator:
         rngs: Optional[RngStreams] = None,
         record_tb_window: Optional[Tuple[TimeUs, TimeUs]] = None,
         record_grants: bool = False,
+        sink: Optional[TraceSink] = None,
     ) -> None:
         self.sim = sim
         self.config = config or RanConfig()
@@ -59,9 +74,11 @@ class RanSimulator:
         self.tdd = TddFrame(
             self.config.tdd_pattern, self.config.slot_us, fdd=self.config.fdd
         )
-        self.scheduler = GnbScheduler(self.config, self.tdd)
+        self.sink = sink
+        self.scheduler = GnbScheduler(self.config, self.tdd, sink=sink)
         self.scheduler.record_grants = record_grants
         self._ues: Dict[int, UePhy] = {}
+        # Legacy accessor: populated only when no sink carries the records.
         self.tb_log: List[TransportBlockRecord] = []
         self._record_tb_window = record_tb_window
         self._capacity_windows: Dict[int, CapacityWindow] = {}
@@ -89,6 +106,7 @@ class RanSimulator:
             channel=channel,
             proactive=proactive,
             record_tbs=record_tbs,
+            trace_sink=self.sink,
         )
         self._ues[ue_id] = ue
         self._ensure_slot_loop()
@@ -178,11 +196,7 @@ class RanSimulator:
 
     def nominal_ul_capacity_kbps(self) -> float:
         """Theoretical uplink capacity at the default MCS with full allocation."""
-        cfg = self.config
-        per_slot_bits = cfg.n_ul_prbs * bits_per_prb(
-            cfg.default_mcs, cfg.subcarriers_per_prb, cfg.data_symbols_per_slot
-        )
-        return per_slot_bits / (self.tdd.ul_period_us / US_PER_SEC) / 1_000
+        return nominal_ul_capacity_kbps(self.config)
 
     # ------------------------------------------------------------------
     # Slot loop
@@ -229,7 +243,10 @@ class RanSimulator:
                 )
             self._account_capacity(slot_us, result.tb)
             if alloc.ue.record_tbs and self._in_record_window(slot_us):
-                self.tb_log.append(result.tb)
+                if self.sink is not None:
+                    self.sink.emit("tb", result.tb)
+                else:
+                    self.tb_log.append(result.tb)
         next_slot = self.tdd.next_ul_slot_start(slot_us + self.config.slot_us)
         self.sim.at(next_slot, lambda: self._on_ul_slot(next_slot))
 

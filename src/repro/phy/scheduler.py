@@ -27,6 +27,7 @@ from dataclasses import dataclass
 from typing import Deque, Dict, Iterable, List, Optional, Protocol
 
 from ..sim.units import TimeUs
+from ..trace.bus import TraceSink
 from ..trace.schema import GrantRecord, TbKind
 from .bsr import quantize_buffer_bytes
 from .grants import PendingGrant
@@ -60,7 +61,12 @@ class GrantAdvisor(Protocol):
 class GnbScheduler:
     """Per-slot PRB allocator with BSR/SR grant loops."""
 
-    def __init__(self, config: RanConfig, tdd: TddFrame) -> None:
+    def __init__(
+        self,
+        config: RanConfig,
+        tdd: TddFrame,
+        sink: Optional[TraceSink] = None,
+    ) -> None:
         self._config = config
         self._tdd = tdd
         # Per-UE grant queues, served round-robin so one backlogged UE
@@ -69,6 +75,8 @@ class GnbScheduler:
         self._reserved_prbs: Dict[TimeUs, int] = {}
         self._rr_offset = 0  # round-robin start for fairness
         self.advisor: Optional[GrantAdvisor] = None
+        self.sink = sink
+        # Legacy accessor: populated only when no sink carries the records.
         self.grant_log: List[GrantRecord] = []
         self.record_grants = False
 
@@ -255,15 +263,17 @@ class GnbScheduler:
     def _log_grant(self, grant: PendingGrant) -> None:
         if not self.record_grants:
             return
-        self.grant_log.append(
-            GrantRecord(
-                grant_id=grant.grant_id,
-                ue_id=grant.ue_id,
-                kind=grant.kind,
-                issued_us=grant.issued_us,
-                usable_slot_us=grant.usable_slot_us,
-                size_bits=grant.size_bits,
-                bsr_us=grant.bsr_us,
-                bsr_bytes=grant.bsr_bytes,
-            )
+        record = GrantRecord(
+            grant_id=grant.grant_id,
+            ue_id=grant.ue_id,
+            kind=grant.kind,
+            issued_us=grant.issued_us,
+            usable_slot_us=grant.usable_slot_us,
+            size_bits=grant.size_bits,
+            bsr_us=grant.bsr_us,
+            bsr_bytes=grant.bsr_bytes,
         )
+        if self.sink is not None:
+            self.sink.emit("grant", record)
+        else:
+            self.grant_log.append(record)

@@ -10,7 +10,6 @@ in the per-packet :class:`~repro.trace.schema.RanPacketTelemetry` that the
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
@@ -18,6 +17,8 @@ import numpy as np
 
 from ..sim.engine import Simulator
 from ..sim.units import TimeUs
+from ..trace.bus import TraceSink
+from ..trace.ids import new_tb_id
 from ..trace.schema import (
     PacketRecord,
     RanPacketTelemetry,
@@ -29,8 +30,6 @@ from .channel import ChannelState, FixedChannel
 from .harq import run_harq
 from .params import RanConfig
 from .tdd import TddFrame
-
-_tb_ids = itertools.count(1)
 
 PacketSink = Callable[[PacketRecord, TimeUs], None]
 
@@ -71,6 +70,7 @@ class UePhy:
         channel: Optional[object] = None,
         proactive: Optional[bool] = None,
         record_tbs: bool = False,
+        trace_sink: Optional[TraceSink] = None,
     ) -> None:
         self.ue_id = ue_id
         self._sim = sim
@@ -80,6 +80,7 @@ class UePhy:
         self.channel = channel or FixedChannel(config.default_mcs, config.base_bler)
         self.proactive = config.proactive_grants if proactive is None else proactive
         self.record_tbs = record_tbs
+        self._trace_sink = trace_sink
         self.buffer = UeBuffer()
         self.sink: Optional[PacketSink] = None
         self._progress: Dict[int, _PacketProgress] = {}
@@ -143,7 +144,7 @@ class UePhy:
         nominal_decode_us = slot_us + cfg.slot_us + cfg.decode_delay_us
 
         tb = TransportBlockRecord(
-            tb_id=next(_tb_ids),
+            tb_id=new_tb_id(),
             ue_id=self.ue_id,
             slot_us=slot_us,
             kind=kind,
@@ -241,6 +242,9 @@ class UePhy:
             self.packets_lost += 1
             self._progress.pop(packet.packet_id, None)
             self._rlc_retries.pop(packet.packet_id, None)
+            if self._trace_sink is not None:
+                # The record never reaches the receiver tap: terminal here.
+                self._trace_sink.finalize(packet)
             return
         delivered = max(progress.decode_times)
         nominal = max(progress.nominal_times)

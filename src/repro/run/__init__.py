@@ -1,0 +1,57 @@
+"""Composable scenario runner: builder stages, registries, batch executor.
+
+The assembly logic of :func:`repro.app.session.run_session` lives here as
+pluggable stages (:mod:`repro.run.builder`), with the scenario/result data
+contract in :mod:`repro.run.scenario` and multi-process sweep execution in
+:mod:`repro.run.batch`.
+"""
+
+from .batch import (
+    BatchRun,
+    RunSpec,
+    collect_qoe,
+    collect_summary,
+    collect_trace,
+    run_batch,
+    sweep_grid,
+)
+from .builder import (
+    DEFAULT_PIPELINE,
+    SessionBuilder,
+    SessionContext,
+    make_estimator,
+    register_access,
+    register_estimator,
+    register_stage,
+    run_session,
+)
+from .scenario import (
+    KNOWN_ACCESS,
+    KNOWN_ESTIMATORS,
+    MONITORED_UE_ID,
+    ScenarioConfig,
+    SessionResult,
+)
+
+__all__ = [
+    "BatchRun",
+    "DEFAULT_PIPELINE",
+    "KNOWN_ACCESS",
+    "KNOWN_ESTIMATORS",
+    "MONITORED_UE_ID",
+    "RunSpec",
+    "ScenarioConfig",
+    "SessionBuilder",
+    "SessionContext",
+    "SessionResult",
+    "collect_qoe",
+    "collect_summary",
+    "collect_trace",
+    "make_estimator",
+    "register_access",
+    "register_estimator",
+    "register_stage",
+    "run_batch",
+    "run_session",
+    "sweep_grid",
+]

@@ -1,0 +1,131 @@
+"""Deterministic multi-process batch execution of scenario runs.
+
+Experiment sweeps (Fig 7's two access networks, the ablation grids, seed
+sweeps) are embarrassingly parallel: every run is an independent simulator
+with its own RNG streams and — since :class:`~repro.run.builder.SessionBuilder`
+gives each session a private :class:`~repro.trace.ids.IdSpace` — its own id
+allocation.  :func:`run_batch` exploits that: it executes a list of
+:class:`RunSpec` across worker processes and returns the collected outputs
+*in spec order*, so a batch is a drop-in replacement for a serial loop and
+produces bit-identical results at any worker count (including ``jobs=1``,
+which runs in-process without any multiprocessing machinery).
+
+A full :class:`~repro.run.scenario.SessionResult` holds live simulator
+objects and is deliberately not shipped between processes; instead each
+worker applies a *collector* — a picklable module-level function reducing
+the result to what the caller needs (a QoE summary, a trace, a stats row).
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, replace
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..media.quality import QoeSummary
+from ..trace.schema import Trace
+from .builder import run_session
+from .scenario import ScenarioConfig, SessionResult
+
+Collector = Callable[[SessionResult], Any]
+
+
+@dataclass
+class RunSpec:
+    """One batch entry: a label (stable identifier) and its scenario."""
+
+    label: str
+    config: ScenarioConfig
+
+
+@dataclass
+class BatchRun:
+    """One batch output: the spec's label and the collector's value."""
+
+    label: str
+    value: Any
+
+
+# ----------------------------------------------------------------------
+# Collectors (module-level so worker processes can unpickle them)
+# ----------------------------------------------------------------------
+def collect_qoe(result: SessionResult) -> QoeSummary:
+    """Reduce a run to its Fig 7-style QoE aggregation."""
+    return result.qoe()
+
+
+def collect_trace(result: SessionResult) -> Trace:
+    """Keep the full trace (largest payload; prefer slimmer collectors)."""
+    return result.trace
+
+
+def collect_summary(result: SessionResult) -> Dict[str, float]:
+    """Reduce a run to one row of headline statistics."""
+    qoe = result.qoe()
+    medians = qoe.medians()
+    return {
+        "packets": float(len(result.trace.packets)),
+        "frames": float(len(result.trace.frames)),
+        "bitrate_kbps": medians["bitrate_kbps"],
+        "fps": medians["fps"],
+        "ssim": medians["ssim"],
+        "stalls": float(qoe.stall_count),
+    }
+
+
+# ----------------------------------------------------------------------
+# Execution
+# ----------------------------------------------------------------------
+def _run_one(task: Tuple[RunSpec, Collector]) -> Any:
+    spec, collect = task
+    return collect(run_session(spec.config))
+
+
+def run_batch(
+    specs: Sequence[RunSpec],
+    collect: Collector = collect_summary,
+    jobs: Optional[int] = None,
+) -> List[BatchRun]:
+    """Execute every spec and return collected outputs in spec order.
+
+    ``jobs=None`` uses one worker per CPU (capped at the batch size);
+    ``jobs=1`` runs serially in-process.  ``collect`` must be a picklable
+    module-level function when more than one worker is used.
+    """
+    if jobs is None:
+        jobs = os.cpu_count() or 1
+    jobs = max(1, min(jobs, len(specs) or 1))
+    tasks = [(spec, collect) for spec in specs]
+    if jobs == 1:
+        values = [_run_one(task) for task in tasks]
+    else:
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            # Executor.map preserves input order regardless of completion
+            # order, which is what keeps batches drop-in for serial loops.
+            values = list(pool.map(_run_one, tasks, chunksize=1))
+    return [
+        BatchRun(label=spec.label, value=value)
+        for spec, value in zip(specs, values)
+    ]
+
+
+def sweep_grid(
+    base: ScenarioConfig,
+    seeds: Sequence[int],
+    variants: Optional[Dict[str, Dict[str, Any]]] = None,
+) -> List[RunSpec]:
+    """Expand a seed × variant grid into ordered :class:`RunSpec` entries.
+
+    ``variants`` maps a variant name to :func:`dataclasses.replace`
+    overrides on ``base``; ``None`` means the single unmodified variant.
+    Labels are ``"<variant>/seed<seed>"``, iterated variant-major in the
+    given order, so grid output order is deterministic.
+    """
+    named = variants if variants is not None else {"base": {}}
+    specs: List[RunSpec] = []
+    for name, overrides in named.items():
+        for seed in seeds:
+            config = replace(base, seed=seed, **overrides)
+            specs.append(RunSpec(label=f"{name}/seed{seed}", config=config))
+    return specs

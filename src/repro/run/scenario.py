@@ -1,0 +1,109 @@
+"""Scenario description and session outputs: the runner's data contract.
+
+A :class:`ScenarioConfig` is everything needed to reproduce one experiment
+run; a :class:`SessionResult` is what a finished run hands to Athena and
+the QoE metrics.  Both lived in :mod:`repro.app.session` historically and
+stay importable from there; the definitions moved here so the composable
+runner (:mod:`repro.run.builder`) and the batch executor
+(:mod:`repro.run.batch`) can use them without importing the monolithic
+session module.
+
+``KNOWN_ACCESS`` and ``KNOWN_ESTIMATORS`` are the validation sets consulted
+by :meth:`ScenarioConfig.__post_init__`; registering a new access factory
+or estimator with :mod:`repro.run.builder` extends them, so custom kinds
+validate like the built-ins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, List, Optional, Set, Tuple
+
+from ..app.adaptation import AdaptationConfig
+from ..media.quality import QoeSummary, qoe_summary
+from ..media.svc import FpsMode
+from ..net.topology import PathConfig
+from ..phy.params import CrossTrafficConfig, RanConfig
+from ..sim.units import TimeUs, ms
+from ..trace.schema import Trace
+
+if TYPE_CHECKING:  # import cycle: app endpoints import the topology/trace
+    from ..app.receiver import VcaReceiver
+    from ..app.sender import VcaSender
+    from ..mitigation.aware_ran import AppAwareAdvisor
+    from ..mitigation.ml_predictor import PeriodicityPredictor
+    from ..net.topology import CallTopology
+    from ..phy.ran import RanSimulator
+    from ..sim.engine import Simulator
+
+#: The UE carrying the monitored call (cross traffic uses higher ids).
+MONITORED_UE_ID = 1
+
+#: Access kinds the scenario validator accepts (builder registries extend).
+KNOWN_ACCESS: Set[str] = {"5g", "emulated"}
+
+#: Bandwidth-estimator kinds the scenario validator accepts.
+KNOWN_ESTIMATORS: Set[str] = {"gcc", "nada", "scream"}
+
+
+@dataclass
+class ScenarioConfig:
+    """Everything needed to reproduce one experiment run."""
+
+    duration_s: float = 60.0
+    seed: int = 7
+    access: str = "5g"  # "5g" | "emulated" | registered custom kinds
+    ran: RanConfig = field(default_factory=RanConfig)
+    channel: str = "fixed"  # "fixed" | "gauss_markov"
+    cross_traffic: Optional[CrossTrafficConfig] = None
+    path: PathConfig = field(default_factory=PathConfig)
+    emulated_rate_kbps: float = 0.0  # 0 = use nominal RAN capacity
+    emulated_latency_us: TimeUs = ms(15.0)
+    # Optional (start_us, kbps) series replayed by the emulated shaper — the
+    # paper's "capacity calculated from the physical transport block sizes".
+    emulated_capacity_series: Optional[List[Tuple[TimeUs, float]]] = None
+    # Scripted (start_us, mcs, bler) phases for the monitored UE's channel;
+    # overrides ``channel`` when set (mobility episodes, Fig 8).
+    channel_phases: Optional[List[Tuple[TimeUs, int, float]]] = None
+    estimator: str = "gcc"  # "gcc" | "nada" | "scream" | registered kinds
+    adaptation: AdaptationConfig = field(default_factory=AdaptationConfig)
+    fixed_mode: Optional[FpsMode] = None
+    fixed_bitrate_kbps: Optional[float] = None
+    mask_ran_delay: bool = False  # §5.3 mitigation
+    aware_ran: bool = False  # §5.2 mitigation (metadata path)
+    aware_ran_learned: bool = False  # §5.2 mitigation (learning path)
+    aware_ran_suppress_proactive: bool = True
+    record_tbs: bool = True
+    record_tb_window: Optional[Tuple[TimeUs, TimeUs]] = None
+    record_grants: bool = False
+    start_prober: bool = True
+    time_sync: bool = False  # record NTP-style exchanges for offline sync
+    jitter_buffer_margin_ms: float = 10.0  # receiver playout margin
+    jitter_buffer_beta: float = 4.0  # jitter multiplier in the playout target
+
+    def __post_init__(self) -> None:
+        if self.access not in KNOWN_ACCESS:
+            raise ValueError(f"unknown access type: {self.access}")
+        if self.estimator not in KNOWN_ESTIMATORS:
+            raise ValueError(f"unknown estimator: {self.estimator}")
+        if self.aware_ran and self.aware_ran_learned:
+            raise ValueError("choose metadata OR learned app-aware scheduling")
+
+
+@dataclass
+class SessionResult:
+    """Outputs of one run, ready for Athena and the QoE metrics."""
+
+    config: ScenarioConfig
+    trace: Trace
+    sim: "Simulator"
+    sender: "VcaSender"
+    receiver: "VcaReceiver"
+    topology: "CallTopology"
+    ran: Optional["RanSimulator"]
+    advisor: Optional["AppAwareAdvisor"] = None
+    predictor: Optional["PeriodicityPredictor"] = None
+
+    def qoe(self) -> QoeSummary:
+        """Fig 7-style QoE aggregation of this run."""
+        return qoe_summary(self.trace.packets, self.trace.frames)

@@ -1,5 +1,14 @@
-"""Trace schema and persistence for Athena experiments."""
+"""Trace schema, telemetry sinks, and persistence for Athena experiments."""
 
+from .bus import (
+    CHANNELS,
+    FilteredSink,
+    InMemorySink,
+    NullSink,
+    StreamingJsonlSink,
+    TraceSink,
+)
+from .ids import IdSpace, use_id_space
 from .io import TraceFormatError, export_csv, load_trace, save_trace
 from .schema import (
     CapturePoint,
@@ -17,20 +26,28 @@ from .schema import (
 )
 
 __all__ = [
+    "CHANNELS",
     "CapturePoint",
+    "FilteredSink",
     "FrameRecord",
     "GrantRecord",
+    "IdSpace",
+    "InMemorySink",
     "MediaKind",
+    "NullSink",
     "PacketRecord",
     "ProbeRecord",
     "RanPacketTelemetry",
     "RtpInfo",
+    "StreamingJsonlSink",
     "SyncExchangeRecord",
     "TbKind",
     "Trace",
+    "TraceSink",
     "TransportBlockRecord",
     "TraceFormatError",
     "export_csv",
     "load_trace",
     "save_trace",
+    "use_id_space",
 ]

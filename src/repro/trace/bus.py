@@ -1,0 +1,252 @@
+"""Telemetry sinks: where simulator components hand their records.
+
+Components used to hold a :class:`~repro.trace.schema.Trace` reference and
+append to its unbounded in-memory lists.  A :class:`TraceSink` decouples
+record *emission* from record *retention*, the same separation production
+telemetry stacks use, so one session assembly supports several back ends:
+
+* :class:`InMemorySink` — the default; reproduces today's :class:`Trace`
+  exactly (every record kept, in emission order);
+* :class:`StreamingJsonlSink` — writes the tagged JSONL format of
+  :mod:`repro.trace.io` incrementally, keeping only still-mutating records
+  resident.  Memory stays O(in-flight records), not O(run duration) —
+  what a paper-length 20-minute session needs;
+* :class:`NullSink` — drops everything (perf benches that only read the
+  live counters);
+* :class:`FilteredSink` — forwards a subset of channels to another sink.
+
+Channels mirror the record families (and the JSONL ``"type"`` tags):
+``packet``, ``tb``, ``grant``, ``frame``, ``probe``, ``sync``.
+
+Mutable records (packets collect capture stamps along the path; frames get
+their render accounting at playout; probes their echo) are emitted with
+``final=False`` and *finalized* by the component that applies the last
+mutation.  Sinks that serialize eagerly hold such records open until
+finalized, flushing completed prefixes in emission order so the persisted
+order matches the in-memory one.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import OrderedDict
+from pathlib import Path
+from typing import Dict, IO, Iterable, Optional, Set, Union
+
+from .schema import Trace
+
+#: Emission channels, in the order families appear in a saved trace.
+CHANNELS = ("packet", "tb", "grant", "frame", "probe", "sync")
+
+#: Channel -> Trace attribute holding that family's records.
+CHANNEL_FIELDS: Dict[str, str] = {
+    "packet": "packets",
+    "tb": "transport_blocks",
+    "grant": "grants",
+    "frame": "frames",
+    "probe": "probes",
+    "sync": "sync_exchanges",
+}
+
+
+class TraceSink:
+    """Receiver of telemetry records emitted by simulator components.
+
+    Subclasses implement :meth:`emit`; the finalization and lifecycle hooks
+    default to no-ops so retention-free sinks stay trivial.
+    """
+
+    def emit(self, channel: str, record: object, *, final: bool = True) -> None:
+        """Accept one record on ``channel``.
+
+        ``final=False`` marks a record that will still be mutated by the
+        emitter; the matching :meth:`finalize` call (or :meth:`close`)
+        signals that it has reached its terminal state.
+        """
+        raise NotImplementedError
+
+    def finalize(self, record: object) -> None:
+        """Signal that an earlier ``final=False`` record stopped mutating.
+
+        Finalizing a record that was never emitted is a harmless no-op, so
+        callers need not track whether recording was enabled.
+        """
+
+    def set_metadata(self, metadata: Dict[str, object]) -> None:
+        """Merge session metadata (seed, scenario, clock offsets...)."""
+
+    def close(self) -> None:
+        """Flush any held records and release resources."""
+
+    def result_trace(self) -> Optional[Trace]:
+        """The in-memory :class:`Trace` this sink maintains, if any."""
+        return None
+
+    def __enter__(self) -> "TraceSink":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+class InMemorySink(TraceSink):
+    """Default sink: collects every record into a :class:`Trace`."""
+
+    def __init__(self, trace: Optional[Trace] = None) -> None:
+        self.trace = trace if trace is not None else Trace()
+
+    def emit(self, channel: str, record: object, *, final: bool = True) -> None:
+        getattr(self.trace, CHANNEL_FIELDS[channel]).append(record)
+
+    def set_metadata(self, metadata: Dict[str, object]) -> None:
+        self.trace.metadata.update(metadata)
+
+    def result_trace(self) -> Optional[Trace]:
+        return self.trace
+
+
+class NullSink(TraceSink):
+    """Zero-cost record suppression: every record is dropped on emit."""
+
+    def emit(self, channel: str, record: object, *, final: bool = True) -> None:
+        pass
+
+
+class FilteredSink(TraceSink):
+    """Forward only the given channels to an inner sink.
+
+    ``FilteredSink(InMemorySink(), channels=("tb", "grant"))`` keeps the PHY
+    telemetry while suppressing the (much larger) packet family.
+    """
+
+    def __init__(self, inner: TraceSink, channels: Iterable[str]) -> None:
+        unknown = set(channels) - set(CHANNELS)
+        if unknown:
+            raise ValueError(f"unknown channels: {sorted(unknown)}")
+        self.inner = inner
+        self.channels: Set[str] = set(channels)
+
+    def emit(self, channel: str, record: object, *, final: bool = True) -> None:
+        if channel in self.channels:
+            self.inner.emit(channel, record, final=final)
+
+    def finalize(self, record: object) -> None:
+        self.inner.finalize(record)
+
+    def set_metadata(self, metadata: Dict[str, object]) -> None:
+        self.inner.set_metadata(metadata)
+
+    def close(self) -> None:
+        self.inner.close()
+
+    def result_trace(self) -> Optional[Trace]:
+        return self.inner.result_trace()
+
+
+class StreamingJsonlSink(TraceSink):
+    """Stream records to a tagged-JSONL file with bounded resident memory.
+
+    Immutable records (``final=True``) are serialized on emit.  Mutable ones
+    are held in per-channel emission-order tables; as finalizations arrive,
+    the completed *prefix* of each table is flushed, so the file preserves
+    emission order within every family and the resident set stays bounded by
+    the number of records still in flight.  :meth:`close` flushes whatever
+    never finalized (packets dropped mid-path, frames unrendered at the end
+    of the run) and appends the metadata line.
+
+    Files written here load with :func:`repro.trace.io.load_trace`.
+    """
+
+    def __init__(
+        self,
+        path: Union[str, Path],
+        metadata: Optional[Dict[str, object]] = None,
+    ) -> None:
+        self.path = Path(path)
+        self._metadata: Dict[str, object] = dict(metadata or {})
+        self._fh: Optional[IO[str]] = self.path.open("w", encoding="utf-8")
+        self._meta_written = False
+        # Per-channel: emission-ordered open records and the finalized set.
+        self._open: Dict[str, "OrderedDict[int, object]"] = {
+            ch: OrderedDict() for ch in CHANNELS
+        }
+        self._done: Dict[str, Set[int]] = {ch: set() for ch in CHANNELS}
+        self._channel_of: Dict[int, str] = {}
+        self.records_written = 0
+        self.open_record_peak = 0  # high-water mark of resident records
+
+    # ------------------------------------------------------------------
+    def emit(self, channel: str, record: object, *, final: bool = True) -> None:
+        if channel not in CHANNEL_FIELDS:
+            raise ValueError(f"unknown channel: {channel!r}")
+        if final:
+            self._write(channel, record)
+            return
+        self._open[channel][id(record)] = record
+        self._channel_of[id(record)] = channel
+        self.open_record_peak = max(self.open_record_peak, len(self._channel_of))
+
+    def finalize(self, record: object) -> None:
+        channel = self._channel_of.get(id(record))
+        if channel is None:
+            return
+        self._done[channel].add(id(record))
+        self._flush_ready(channel)
+
+    def set_metadata(self, metadata: Dict[str, object]) -> None:
+        if self._meta_written:
+            raise RuntimeError("metadata already written; set it before records")
+        self._metadata.update(metadata)
+
+    def close(self) -> None:
+        if self._fh is None:
+            return
+        for channel in CHANNELS:
+            table = self._open[channel]
+            while table:
+                _, record = table.popitem(last=False)
+                self._channel_of.pop(id(record), None)
+                self._done[channel].discard(id(record))
+                self._write(channel, record)
+        self._ensure_meta()
+        self._fh.close()
+        self._fh = None
+
+    def open_record_count(self) -> int:
+        """Records currently held resident awaiting finalization."""
+        return len(self._channel_of)
+
+    # ------------------------------------------------------------------
+    def _flush_ready(self, channel: str) -> None:
+        table = self._open[channel]
+        done = self._done[channel]
+        while table:
+            key = next(iter(table))
+            if key not in done:
+                break
+            record = table.pop(key)
+            done.discard(key)
+            self._channel_of.pop(key, None)
+            self._write(channel, record)
+
+    def _ensure_meta(self) -> None:
+        if self._meta_written:
+            return
+        self._meta_written = True
+        from .io import to_jsonable
+
+        assert self._fh is not None
+        self._fh.write(
+            json.dumps({"type": "meta", **to_jsonable(self._metadata)}) + "\n"
+        )
+
+    def _write(self, channel: str, record: object) -> None:
+        if self._fh is None:
+            raise RuntimeError(f"sink for {self.path} is closed")
+        self._ensure_meta()
+        from .io import to_jsonable
+
+        self._fh.write(
+            json.dumps({"type": channel, **to_jsonable(record)}) + "\n"
+        )
+        self.records_written += 1

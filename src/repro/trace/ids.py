@@ -1,0 +1,97 @@
+"""Per-session record-identifier allocation.
+
+Every record family (packets, transport blocks, grants, frames) carries a
+small integer id that the correlation layer joins on.  Historically these
+came from process-global ``itertools.count`` objects, which meant the ids a
+session handed out depended on every run that executed earlier in the same
+process — back-to-back sessions produced different traces for the same seed.
+
+An :class:`IdSpace` owns one counter per family.  The scenario runner
+installs a fresh space for each session (:func:`use_id_space`), so ids
+always start at 1 and a fixed seed yields a byte-identical trace no matter
+what ran before.  Code that allocates ids outside a session (unit tests,
+ad-hoc scripts) falls back to a shared process-default space, preserving the
+old uniqueness guarantee.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator
+
+
+class IdSpace:
+    """Independent id counters for one session's records."""
+
+    __slots__ = ("_packet", "_tb", "_grant", "_frame")
+
+    def __init__(self) -> None:
+        self._packet = 0
+        self._tb = 0
+        self._grant = 0
+        self._frame = 0
+
+    def next_packet_id(self) -> int:
+        """Allocate the next packet identifier (1-based)."""
+        self._packet += 1
+        return self._packet
+
+    def next_tb_id(self) -> int:
+        """Allocate the next transport-block identifier (1-based)."""
+        self._tb += 1
+        return self._tb
+
+    def next_grant_id(self) -> int:
+        """Allocate the next uplink-grant identifier (1-based)."""
+        self._grant += 1
+        return self._grant
+
+    def next_frame_id(self) -> int:
+        """Allocate the next media-frame identifier (1-based)."""
+        self._frame += 1
+        return self._frame
+
+
+_DEFAULT_SPACE = IdSpace()
+_current_space = _DEFAULT_SPACE
+
+
+def current_id_space() -> IdSpace:
+    """The id space new records draw from right now."""
+    return _current_space
+
+
+@contextmanager
+def use_id_space(space: IdSpace) -> Iterator[IdSpace]:
+    """Install ``space`` as the allocation source for the ``with`` body.
+
+    The previous space is restored on exit, so nested sessions (or a session
+    driven step-by-step around other allocations) stay isolated.
+    """
+    global _current_space
+    previous = _current_space
+    _current_space = space
+    try:
+        yield space
+    finally:
+        _current_space = previous
+
+
+def new_packet_id() -> int:
+    """Allocate a packet id from the current space."""
+    return _current_space.next_packet_id()
+
+
+def new_tb_id() -> int:
+    """Allocate a transport-block id from the current space."""
+    return _current_space.next_tb_id()
+
+
+def new_grant_id() -> int:
+    """Allocate an uplink-grant id from the current space."""
+    return _current_space.next_grant_id()
+
+
+def new_frame_id() -> int:
+    """Allocate a media-frame id from the current space."""
+    return _current_space.next_frame_id()

@@ -50,6 +50,11 @@ class TraceFormatError(ValueError):
     """Raised when a trace file cannot be parsed."""
 
 
+def to_jsonable(value: object) -> object:
+    """Convert a record (dataclass tree) into JSON-serializable builtins."""
+    return _to_jsonable(value)
+
+
 def _to_jsonable(value: object) -> object:
     if isinstance(value, (MediaKind, TbKind)):
         return value.value

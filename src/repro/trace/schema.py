@@ -14,19 +14,13 @@ A :class:`Trace` bundles one experiment's records together with metadata.
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass, field
 from enum import Enum
 from typing import Dict, List, Optional
 
 from ..sim.units import TimeUs
-
-_packet_ids = itertools.count(1)
-
-
-def new_packet_id() -> int:
-    """Allocate a process-unique packet identifier."""
-    return next(_packet_ids)
+# Re-exported for callers that predate session-scoped ids (trace.ids).
+from .ids import new_packet_id  # noqa: F401
 
 
 class MediaKind(str, Enum):

@@ -19,6 +19,7 @@ EXPECTED = {
     "bad_ath004.py": ("ATH004", (7, 9)),
     "bad_ath005.py": ("ATH005", (6, 11, 11)),
     "bad_ath006.py": ("ATH006", (7, 9, 15)),
+    "bad_ath007.py": ("ATH007", (5, 6, 14)),
 }
 
 
@@ -143,6 +144,34 @@ class TestHandlers:
     def test_non_sim_receiver_ignored(self):
         src = "table.at(3, row())\n"
         assert lint_source(src, rule_ids=["ATH006"]) == []
+
+
+class TestTraceAppendRule:
+    def test_direct_append_flagged(self):
+        src = "trace.packets.append(p)\n"
+        assert len(lint_source(src, rule_ids=["ATH007"])) == 1
+
+    def test_nested_holder_flagged(self):
+        src = "self.topology.trace.frames.append(f)\n"
+        assert len(lint_source(src, rule_ids=["ATH007"])) == 1
+
+    def test_extend_flagged(self):
+        src = "trace.grants.extend(ran.scheduler.grant_log)\n"
+        assert len(lint_source(src, rule_ids=["ATH007"])) == 1
+
+    def test_other_lists_ok(self):
+        src = "self.mode_series.append((now, mode))\n"
+        assert lint_source(src, rule_ids=["ATH007"]) == []
+
+    def test_sink_emit_ok(self):
+        src = "sink.emit('packet', p, final=False)\n"
+        assert lint_source(src, rule_ids=["ATH007"]) == []
+
+    def test_trace_package_exempt_via_options(self):
+        src = "self.trace.packets.append(record)\n"
+        options = {"ATH007": {"exempt": ["repro/trace/*.py"]}}
+        assert lint_source(src, "repro/trace/bus.py", rule_ids=["ATH007"],
+                           rule_options=options) == []
 
 
 class TestSuppression:

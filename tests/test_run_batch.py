@@ -1,0 +1,103 @@
+"""The parallel batch executor: ordering, serial identity, the grid, CLI."""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.experiments.common import idle_cell_scenario
+from repro.run.batch import (
+    RunSpec,
+    collect_qoe,
+    collect_summary,
+    run_batch,
+    sweep_grid,
+)
+from repro.run.scenario import ScenarioConfig
+
+
+def _specs(n=3, duration_s=1.0):
+    return [
+        RunSpec(
+            label=f"seed{seed}",
+            config=idle_cell_scenario(duration_s=duration_s, seed=seed),
+        )
+        for seed in range(1, n + 1)
+    ]
+
+
+class TestRunBatch:
+    def test_parallel_matches_serial_exactly(self):
+        specs = _specs()
+        serial = run_batch(specs, collect=collect_summary, jobs=1)
+        parallel = run_batch(specs, collect=collect_summary, jobs=2)
+        assert [r.label for r in serial] == [r.label for r in parallel]
+        assert [r.value for r in serial] == [r.value for r in parallel]
+
+    def test_results_preserve_spec_order(self):
+        specs = _specs(4)
+        runs = run_batch(specs, collect=collect_summary, jobs=2)
+        assert [r.label for r in runs] == [s.label for s in specs]
+
+    def test_collect_qoe_ships_summaries(self):
+        runs = run_batch(_specs(2), collect=collect_qoe, jobs=2)
+        for run in runs:
+            assert run.value.medians()["fps"] > 0
+
+    def test_empty_batch(self):
+        assert run_batch([], jobs=4) == []
+
+
+class TestSweepGrid:
+    def test_variant_major_expansion(self):
+        base = ScenarioConfig(duration_s=1.0)
+        specs = sweep_grid(
+            base,
+            seeds=[1, 2],
+            variants={"5g": {"access": "5g"},
+                      "emulated": {"access": "emulated"}},
+        )
+        assert [s.label for s in specs] == [
+            "5g/seed1", "5g/seed2", "emulated/seed1", "emulated/seed2",
+        ]
+        assert specs[0].config.seed == 1 and specs[1].config.seed == 2
+        assert specs[2].config.access == "emulated"
+        # The base config is never mutated.
+        assert base.seed == 7 and base.access == "5g"
+
+    def test_default_single_variant(self):
+        specs = sweep_grid(ScenarioConfig(duration_s=1.0), seeds=[9])
+        assert [s.label for s in specs] == ["base/seed9"]
+
+
+class TestCliSweep:
+    def test_smoke_grid_runs_and_prints_table(self, capsys):
+        from repro.cli import main
+
+        code = main(["sweep", "--smoke", "--duration", "1", "--jobs", "2"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "5g/seed7" in out and "emulated/seed8" in out
+
+    def test_ablation_name_still_dispatches(self, capsys):
+        from repro.cli import main
+
+        code = main(["sweep", "proactive", "--duration", "2", "--jobs", "1"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "proactive grants" in out
+
+
+@pytest.mark.skipif((os.cpu_count() or 1) < 2,
+                    reason="speedup needs at least 2 cores")
+def test_parallel_speedup_on_multicore():
+    specs = _specs(4, duration_s=4.0)
+    start = time.perf_counter()
+    run_batch(specs, collect=collect_summary, jobs=1)
+    serial_s = time.perf_counter() - start
+    start = time.perf_counter()
+    run_batch(specs, collect=collect_summary, jobs=min(4, os.cpu_count()))
+    parallel_s = time.perf_counter() - start
+    assert serial_s / parallel_s >= 1.5
