@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: check lint lint-json test smoke
+.PHONY: check lint lint-json test smoke bench
 
 check: lint test smoke
 
@@ -19,3 +19,6 @@ test:
 
 smoke:
 	$(PYTHON) -m repro sweep --smoke
+
+bench:
+	$(PYTHON) -m repro bench

@@ -1,4 +1,4 @@
-"""The ATH001–ATH007 rule implementations.
+"""The ATH001–ATH008 rule implementations.
 
 Importing this package registers every rule with :mod:`repro.analysis.registry`.
 """
@@ -8,6 +8,7 @@ from __future__ import annotations
 from . import (  # noqa: F401  (import for registration side effect)
     float_eq,
     handlers,
+    loop_capture,
     mutable_defaults,
     rng,
     trace_append,

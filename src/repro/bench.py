@@ -1,0 +1,255 @@
+"""Performance-regression harness: ``athena-repro bench`` (DESIGN.md §3.2).
+
+Four benchmarks, each timed with a warmup pass and min-of-N repetitions
+(the minimum is the standard noise-robust estimator for short, allocation
+-bound workloads):
+
+* ``event_loop`` — raw simulator throughput: recurring-event dispatch and a
+  self-rescheduling one-shot chain, in events per second.
+* ``full_stack_1s`` — one second of the default VCA session on a 120 kHz
+  SCS (mmWave FR2) cell, with idle-slot elision on vs. off.  Only
+  ``Simulator.run_until`` is timed; session construction is excluded.
+  The two settings are semantically identical (a trace-identity test
+  enforces byte-identical JSONL), so the ratio isolates the cost of
+  firing provably-idle slot events.
+* ``idle_heavy_60s`` — a mostly-idle RAN-only session: one UE, a single
+  early packet burst, then silence.  The reference loop still fires every
+  uplink slot; the elided loop goes dormant.
+* ``fig7`` — end-to-end regeneration of the Fig 7 QoE comparison, the
+  repo's flagship experiment, as a macro-benchmark.
+
+Results are written to ``BENCH_perf.json`` (see README for the format).
+This module is exempt from ATH001: measuring wall-clock time is its job.
+No wall-clock *dates* are recorded — output depends only on the workload.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import replace
+from time import perf_counter
+from typing import Callable, Dict, List, Optional
+
+from .experiments.fig7_qoe import run_fig7
+from .phy import FixedChannel, RanConfig, RanSimulator
+from .run.builder import SessionBuilder
+from .run.scenario import ScenarioConfig
+from .sim import RngStreams, Simulator, ms, seconds
+from .trace import MediaKind, PacketRecord, use_id_space
+from .trace.ids import new_packet_id
+
+#: Slot duration of the bench cell: 120 kHz SCS (numerology mu=3, FR2).
+#: The finer numerology fires 1600 UL slot events/s in the reference loop,
+#: which is exactly the regime idle elision targets.
+BENCH_SLOT_US = 125
+
+#: Acceptance floors checked by `athena-repro bench` (and CI --smoke runs).
+FULL_STACK_MIN_SPEEDUP = 1.2
+IDLE_HEAVY_MIN_SPEEDUP = 3.0
+
+
+def _best_of(fn: Callable[[], float], reps: int) -> float:
+    """Warm up once, then return the minimum elapsed seconds over ``reps``."""
+    fn()
+    return min(fn() for _ in range(reps))
+
+
+# ---------------------------------------------------------------------------
+# event loop
+
+
+def _time_recurring(n_events: int) -> float:
+    sim = Simulator()
+    sim.every(10, lambda: None)
+    t0 = perf_counter()
+    sim.run_until(n_events * 10)
+    return perf_counter() - t0
+
+
+def _time_oneshot_chain(n_events: int) -> float:
+    sim = Simulator()
+
+    def hop() -> None:
+        if sim.now < n_events * 10:
+            sim.at(sim.now + 10, hop)
+
+    sim.at(0, hop)
+    t0 = perf_counter()
+    sim.run_until(n_events * 10 + 1)
+    return perf_counter() - t0
+
+
+def bench_event_loop(n_events: int = 200_000, reps: int = 3) -> Dict[str, object]:
+    """Engine-only dispatch throughput (recurring + one-shot chain)."""
+    recurring_s = _best_of(lambda: _time_recurring(n_events), reps)
+    oneshot_s = _best_of(lambda: _time_oneshot_chain(n_events), reps)
+    return {
+        "n_events": n_events,
+        "recurring_best_s": recurring_s,
+        "recurring_events_per_s": n_events / recurring_s,
+        "oneshot_best_s": oneshot_s,
+        "oneshot_events_per_s": n_events / oneshot_s,
+    }
+
+
+# ---------------------------------------------------------------------------
+# full stack
+
+
+def _time_session(config: ScenarioConfig, duration_s: float) -> float:
+    """Build a session, then time only the event loop (``run_until``)."""
+    builder = SessionBuilder(config)
+    with use_id_space(builder.id_space):
+        ctx = builder.build()
+        builder.start(ctx)
+        t0 = perf_counter()
+        ctx.sim.run_until(seconds(duration_s))
+        elapsed_s = perf_counter() - t0
+    builder.sink.close()
+    return elapsed_s
+
+
+def bench_full_stack(duration_s: float = 1.0, reps: int = 7) -> Dict[str, object]:
+    """Default VCA session on the mu=3 cell: elision on vs. reference."""
+    base = ScenarioConfig(seed=7)
+    elide = replace(base, ran=RanConfig(elide_idle_slots=True, slot_us=BENCH_SLOT_US))
+    reference = replace(
+        base, ran=RanConfig(elide_idle_slots=False, slot_us=BENCH_SLOT_US)
+    )
+    elide_s = _best_of(lambda: _time_session(elide, duration_s), reps)
+    reference_s = _best_of(lambda: _time_session(reference, duration_s), reps)
+    speedup = reference_s / elide_s
+    return {
+        "duration_s": duration_s,
+        "slot_us": BENCH_SLOT_US,
+        "elide_best_s": elide_s,
+        "reference_best_s": reference_s,
+        "speedup": speedup,
+        "min_speedup": FULL_STACK_MIN_SPEEDUP,
+        "pass": speedup >= FULL_STACK_MIN_SPEEDUP,
+    }
+
+
+# ---------------------------------------------------------------------------
+# idle heavy
+
+
+def _time_idle_session(elide: bool, duration_s: float) -> float:
+    sim = Simulator()
+    config = RanConfig(elide_idle_slots=elide)
+    ran = RanSimulator(sim, config, RngStreams(1))
+    ran.add_ue(1, channel=FixedChannel(config.default_mcs, 0.0))
+    ran.set_uplink_sink(1, lambda packet, time_us: None)
+
+    def burst() -> None:
+        for _ in range(4):
+            ran.send_uplink(
+                1,
+                PacketRecord(
+                    packet_id=new_packet_id(),
+                    flow_id="bench",
+                    kind=MediaKind.VIDEO,
+                    size_bytes=1_100,
+                ),
+            )
+
+    sim.at(ms(1.0), burst)
+    t0 = perf_counter()
+    sim.run_until(seconds(duration_s))
+    return perf_counter() - t0
+
+
+def bench_idle_heavy(duration_s: float = 60.0, reps: int = 3) -> Dict[str, object]:
+    """Mostly-idle RAN session: one early burst, then a silent cell."""
+    elide_s = _best_of(lambda: _time_idle_session(True, duration_s), reps)
+    reference_s = _best_of(lambda: _time_idle_session(False, duration_s), reps)
+    speedup = reference_s / elide_s
+    return {
+        "duration_s": duration_s,
+        "elide_best_s": elide_s,
+        "reference_best_s": reference_s,
+        "speedup": speedup,
+        "min_speedup": IDLE_HEAVY_MIN_SPEEDUP,
+        "pass": speedup >= IDLE_HEAVY_MIN_SPEEDUP,
+    }
+
+
+# ---------------------------------------------------------------------------
+# fig 7 macro benchmark
+
+
+def _time_fig7(duration_s: float) -> float:
+    t0 = perf_counter()
+    run_fig7(duration_s=duration_s, seed=7)
+    return perf_counter() - t0
+
+
+def bench_fig7(duration_s: float = 10.0, reps: int = 2) -> Dict[str, object]:
+    """Wall time to regenerate the Fig 7 QoE comparison end to end."""
+    best_s = _best_of(lambda: _time_fig7(duration_s), reps)
+    return {"duration_s": duration_s, "best_s": best_s}
+
+
+# ---------------------------------------------------------------------------
+# harness
+
+
+def run_bench(
+    out_path: str = "BENCH_perf.json",
+    smoke: bool = False,
+    reps: Optional[int] = None,
+    report: Optional[Callable[[str], None]] = print,
+) -> Dict[str, object]:
+    """Run every benchmark, write ``out_path``, and return the results.
+
+    ``smoke`` shrinks repetitions and simulated durations for CI: the
+    speedup *ratios* are preserved (both sides shrink together), so the
+    pass/fail floors still hold; only the absolute times lose stability.
+    """
+    say = report if report is not None else (lambda line: None)
+    if smoke:
+        plan = {
+            "event_loop": dict(n_events=20_000, reps=reps or 1),
+            "full_stack": dict(duration_s=1.0, reps=reps or 3),
+            "idle_heavy": dict(duration_s=5.0, reps=reps or 1),
+            "fig7": dict(duration_s=2.0, reps=reps or 1),
+        }
+    else:
+        plan = {
+            "event_loop": dict(n_events=200_000, reps=reps or 3),
+            "full_stack": dict(duration_s=1.0, reps=reps or 7),
+            "idle_heavy": dict(duration_s=60.0, reps=reps or 3),
+            "fig7": dict(duration_s=10.0, reps=reps or 2),
+        }
+
+    results: Dict[str, object] = {}
+    say("bench: event loop ...")
+    results["event_loop"] = bench_event_loop(**plan["event_loop"])
+    say("bench: full-stack 1 s session (elide vs reference) ...")
+    results["full_stack_1s"] = bench_full_stack(**plan["full_stack"])
+    say("bench: idle-heavy session (elide vs reference) ...")
+    results["idle_heavy_60s"] = bench_idle_heavy(**plan["idle_heavy"])
+    say("bench: Fig 7 regeneration ...")
+    results["fig7"] = bench_fig7(**plan["fig7"])
+
+    checks: List[str] = []
+    for key in ("full_stack_1s", "idle_heavy_60s"):
+        entry = results[key]
+        status = "PASS" if entry["pass"] else "FAIL"  # type: ignore[index]
+        checks.append(
+            f"{key}: {entry['speedup']:.2f}x "  # type: ignore[index]
+            f"(floor {entry['min_speedup']}x) {status}"  # type: ignore[index]
+        )
+    payload = {
+        "schema": "athena-bench/1",
+        "smoke": smoke,
+        "results": results,
+        "ok": all(r.get("pass", True) for r in results.values()),  # type: ignore[union-attr]
+    }
+    with open(out_path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    for line in checks:
+        say(f"bench: {line}")
+    say(f"bench: wrote {out_path}")
+    return payload

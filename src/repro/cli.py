@@ -6,6 +6,7 @@ Examples::
     athena-repro analyze trace.jsonl
     athena-repro figure fig5
     athena-repro sweep duplexing
+    athena-repro bench --smoke
 """
 
 from __future__ import annotations
@@ -140,6 +141,16 @@ def _cmd_reproduce_all(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from .bench import run_bench
+
+    payload = run_bench(out_path=args.out, smoke=args.smoke, reps=args.reps)
+    if not payload["ok"] and args.check:
+        print("bench: speedup below the regression floor", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     if args.smoke or args.name is None:
         return _sweep_seed_grid(args)
@@ -256,9 +267,22 @@ def build_parser() -> argparse.ArgumentParser:
     # whole argument vector; registered here only so -h lists it.
     sub.add_parser(
         "lint",
-        help="run athena-lint (determinism & unit-safety rules ATH001-ATH006)",
+        help="run athena-lint (determinism & unit-safety rules ATH001-ATH008)",
         add_help=False,
     )
+
+    bench = sub.add_parser(
+        "bench",
+        help="run the perf-regression benchmarks and write BENCH_perf.json",
+    )
+    bench.add_argument("--out", default="BENCH_perf.json")
+    bench.add_argument("--smoke", action="store_true",
+                       help="fast CI mode: fewer reps, shorter sessions")
+    bench.add_argument("--reps", type=int, default=None,
+                       help="override repetitions for every benchmark")
+    bench.add_argument("--check", action="store_true",
+                       help="exit non-zero if a speedup floor is missed")
+    bench.set_defaults(fn=_cmd_bench)
 
     sweep = sub.add_parser(
         "sweep",

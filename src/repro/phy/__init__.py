@@ -2,7 +2,7 @@
 
 from .buffer import DrainedSegment, UeBuffer
 from .bsr import bsr_index, bsr_upper_edge_bytes, quantize_buffer_bytes
-from .channel import ChannelState, FixedChannel, GaussMarkovChannel
+from .channel import ChannelState, FixedChannel, GaussMarkovChannel, PhasedChannel
 from .crosstraffic import CrossTrafficSource, attach_cross_traffic
 from .grants import PendingGrant
 from .harq import HarqOutcome, run_harq
@@ -31,6 +31,7 @@ __all__ = [
     "DrainedSegment",
     "FixedChannel",
     "GaussMarkovChannel",
+    "PhasedChannel",
     "GnbScheduler",
     "GrantAdvisor",
     "HarqOutcome",

@@ -31,6 +31,9 @@ class ChannelState:
 class FixedChannel:
     """Degenerate channel: constant MCS and BLER (controlled experiments)."""
 
+    #: nominal_mcs never changes over time (idle accounting can hoist it).
+    nominal_mcs_varies = False
+
     def __init__(self, mcs: int, bler: float) -> None:
         if not 0.0 <= bler < 1.0:
             raise ValueError(f"bler out of range: {bler}")
@@ -41,6 +44,10 @@ class FixedChannel:
         """Channel state at ``time_us`` (time-invariant here)."""
         return ChannelState(snr_db=float("nan"), mcs=self.mcs, bler=self.bler)
 
+    def nominal_mcs(self, time_us: TimeUs) -> int:
+        """The MCS :meth:`sample` would report, without advancing anything."""
+        return self.mcs
+
 
 class PhasedChannel:
     """Piecewise-constant channel: (start_us, mcs, bler) phases.
@@ -49,6 +56,10 @@ class PhasedChannel:
     to a low MCS with heavy retransmissions, the condition under which a
     VCA's uplink queue grows to seconds (Fig 8's high-delay episode).
     """
+
+    #: nominal_mcs follows the scripted phases, so idle accounting must
+    #: evaluate it per slot instead of hoisting one value.
+    nominal_mcs_varies = True
 
     def __init__(self, phases) -> None:
         if not phases:
@@ -70,6 +81,16 @@ class PhasedChannel:
         del start
         return ChannelState(snr_db=float("nan"), mcs=mcs, bler=bler)
 
+    def nominal_mcs(self, time_us: TimeUs) -> int:
+        """The MCS :meth:`sample` would report for this time (no state)."""
+        mcs = self.phases[0][1]
+        for phase in self.phases:
+            if time_us >= phase[0]:
+                mcs = phase[1]
+            else:
+                break
+        return mcs
+
 
 class GaussMarkovChannel:
     """AR(1) SNR process with logistic BLER around the MCS operating point.
@@ -79,6 +100,9 @@ class GaussMarkovChannel:
     Link adaptation picks the MCS for a *long-term* SNR estimate (slowly
     tracking), so short fades below the operating point raise the BLER.
     """
+
+    #: Link adaptation tracks the long-term mean, so nominal_mcs is constant.
+    nominal_mcs_varies = False
 
     def __init__(
         self,
@@ -115,6 +139,14 @@ class GaussMarkovChannel:
         mcs = mcs_for_snr(self.mean_snr_db - self.margin_db)
         bler = self._bler_at(self._snr_db, mcs)
         return ChannelState(snr_db=self._snr_db, mcs=mcs, bler=bler)
+
+    def nominal_mcs(self, time_us: TimeUs) -> int:
+        """Link adaptation tracks long-term SNR, so the MCS is deterministic.
+
+        Exposed so the idle-slot fast path can size proactive grants without
+        advancing the AR(1) process (no RNG draw).
+        """
+        return mcs_for_snr(self.mean_snr_db - self.margin_db)
 
     def _bler_at(self, snr_db: float, mcs: int) -> float:
         """Logistic BLER: equals ``target_bler`` at the operating SNR."""

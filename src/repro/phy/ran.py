@@ -7,6 +7,22 @@ transport block decodes, which the network layer then carries to the mobile
 core.  It also produces the PHY telemetry stream (TB and grant records) that
 Athena correlates, and the per-window granted-capacity series used to
 configure the paper's emulated wired baseline (Fig 7).
+
+Slot-loop hot path (DESIGN.md §3.2)
+-----------------------------------
+A cell-wide *idle* uplink slot — no buffered data, no due or pending grant,
+no HARQ reservation, no grant advisor — produces no transport blocks, no
+HARQ draws, and no channel samples; its only effect is the capacity
+accounting of the zero-fill proactive grants, computed arithmetically from
+each channel's RNG-free ``nominal_mcs``.  Because idle slots are pure
+arithmetic, the loop can *elide* them (``RanConfig.elide_idle_slots``): it
+jumps straight to the scheduler's ``next_busy_slot_after`` and goes fully
+dormant when no work is queued, revived by demand wake-ups from packet
+enqueues, decoded BSRs/SRs, new grants, retransmission reservations, and
+advisor installation.  Slot events run at a reserved negative priority so
+the elided and per-slot reference paths fire in identical order among
+same-timestamp events; a trace-identity test asserts the two paths emit
+byte-identical telemetry.
 """
 
 from __future__ import annotations
@@ -14,7 +30,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
-from ..sim.engine import Simulator
+from ..sim.engine import EventHandle, Simulator
 from ..sim.random import RngStreams
 from ..sim.units import TimeUs, US_PER_SEC
 from ..trace.bus import TraceSink
@@ -24,6 +40,11 @@ from .params import RanConfig
 from .scheduler import GnbScheduler, GrantAdvisor
 from .tdd import TddFrame
 from .ue import PacketSink, UePhy
+
+#: Slot events fire before all same-timestamp default-priority events, so a
+#: slot event re-inserted after an elided stretch keeps the exact position
+#: the per-slot reference loop would have given it.
+SLOT_PRIORITY = -1
 
 
 def nominal_ul_capacity_kbps(config: RanConfig) -> float:
@@ -81,8 +102,30 @@ class RanSimulator:
         # Legacy accessor: populated only when no sink carries the records.
         self.tb_log: List[TransportBlockRecord] = []
         self._record_tb_window = record_tb_window
+        # Capacity windows: keyed by window index, kept in insertion order.
+        # Accounting times are monotonic, so insertion order IS time order;
+        # a dirty flag covers the defensive out-of-order case so
+        # capacity_series() never has to re-sort on the common path.
         self._capacity_windows: Dict[int, CapacityWindow] = {}
+        self._ordered_windows: List[CapacityWindow] = []
+        self._windows_sorted = True
+        self._last_window_key = -1
         self._slot_loop_started = False
+        # Idle-elision state: all uplink slots with start < _idle_cursor have
+        # been processed or accounted; _slot_handle/_next_slot_us track the
+        # single scheduled slot event (None/dormant when no work is queued).
+        self._idle_cursor: TimeUs = 0
+        self._slot_handle: Optional[EventHandle] = None
+        self._next_slot_us: TimeUs = 0
+        self._in_slot = False
+        # Elision requires every channel to expose an RNG-free nominal_mcs;
+        # time-varying nominal MCS (phased channels) forces per-slot idle
+        # accounting instead of the O(1) arithmetic fast-forward.
+        self._nominal_mcs_ok = True
+        self._nominal_mcs_varies = False
+        # Cached "the loop elides" predicate (hot in _demand_wake).
+        self._eliding = False
+        self.scheduler.wake_hook = self._demand_wake
 
     # ------------------------------------------------------------------
     # Topology
@@ -97,6 +140,9 @@ class RanSimulator:
         """Attach a mobile to the cell."""
         if ue_id in self._ues:
             raise ValueError(f"UE {ue_id} already attached")
+        # Settle idle accounting with the current UE set before it changes:
+        # slots already passed must not see the new UE's proactive grant.
+        self._catch_up_idle()
         ue = UePhy(
             ue_id=ue_id,
             sim=self.sim,
@@ -109,7 +155,12 @@ class RanSimulator:
             trace_sink=self.sink,
         )
         self._ues[ue_id] = ue
+        if not hasattr(ue.channel, "nominal_mcs"):
+            self._nominal_mcs_ok = False  # unknown channel: never elide
+        elif getattr(ue.channel, "nominal_mcs_varies", True):
+            self._nominal_mcs_varies = True
         self._ensure_slot_loop()
+        self._eliding = self.config.elide_idle_slots and self._nominal_mcs_ok
         return ue
 
     def ue(self, ue_id: int) -> UePhy:
@@ -133,6 +184,9 @@ class RanSimulator:
     def set_grant_advisor(self, advisor: Optional[GrantAdvisor]) -> None:
         """Install an application-aware scheduling strategy (§5.2)."""
         self.scheduler.advisor = advisor
+        if advisor is not None:
+            # Advisors may inject grants in any slot: every slot is busy now.
+            self._demand_wake(self.sim.now + 1)
 
     # ------------------------------------------------------------------
     # Data plane
@@ -152,6 +206,8 @@ class RanSimulator:
                     sr_slot,
                     lambda: self.scheduler.on_sr(ue_id, sr_slot, self.sim.now),
                 )
+            # Buffered data makes the next uplink slot busy.
+            self._demand_wake(self.sim.now + 1)
 
         if self.config.ue_to_gnb_proc_us > 0:
             self.sim.call_later(self.config.ue_to_gnb_proc_us, enqueue)
@@ -170,20 +226,25 @@ class RanSimulator:
         if ue_id not in self._ues:
             raise KeyError(f"UE {ue_id} not attached")
         arrival = self.sim.now + self.config.gnb_to_core_us
-        slot = self.tdd.slot_index(arrival)
-        for _ in range(len(self.tdd.pattern) + 1):
-            if self.tdd.is_downlink_slot(slot) and self.tdd.slot_start(slot) >= arrival:
-                break
-            slot += 1
-        deliver_at = self.tdd.slot_start(slot) + self.config.slot_us
+        deliver_at = self.tdd.next_dl_slot_start(arrival) + self.config.slot_us
         self.sim.at(deliver_at, lambda: sink(packet, deliver_at))
 
     # ------------------------------------------------------------------
     # Capacity accounting
     # ------------------------------------------------------------------
     def capacity_series(self) -> List[CapacityWindow]:
-        """Granted/used capacity per accounting window, time-ordered."""
-        return [self._capacity_windows[k] for k in sorted(self._capacity_windows)]
+        """Granted/used capacity per accounting window, time-ordered.
+
+        Accounting happens in time order, so the insertion-ordered window
+        list is returned as-is; a sort only happens in the (defensive)
+        out-of-order case.  A dormant slot loop never accounts the idle
+        tail, so the series first catches idle accounting up to now.
+        """
+        self._catch_up_idle()
+        if not self._windows_sorted:
+            self._ordered_windows.sort(key=lambda w: w.start_us)
+            self._windows_sorted = True
+        return list(self._ordered_windows)
 
     def mean_granted_kbps(self) -> float:
         """Average granted uplink capacity over the run."""
@@ -205,10 +266,131 @@ class RanSimulator:
         if self._slot_loop_started:
             return
         self._slot_loop_started = True
-        first = self.tdd.next_ul_slot_start(self.sim.now)
-        self.sim.at(first, lambda: self._on_ul_slot(first))
+        self._idle_cursor = self.sim.now
+        self._schedule_slot_at(self.tdd.next_ul_slot_start(self.sim.now))
 
-    def _on_ul_slot(self, slot_us: TimeUs) -> None:
+    def _schedule_slot_at(self, slot_us: TimeUs) -> None:
+        self._next_slot_us = slot_us
+        self._slot_handle = self.sim.at(
+            slot_us, self._slot_event, priority=SLOT_PRIORITY
+        )
+
+    def _slot_event(self) -> None:
+        """Handle the uplink slot starting now; schedule (or elide) the next.
+
+        Both loop paths share this handler.  The reference path
+        (``elide_idle_slots=False``) unconditionally reschedules one slot
+        ahead; the eliding path asks the scheduler for the next busy slot
+        and goes dormant when there is none, relying on demand wake-ups.
+        """
+        sim_now = self.sim.now
+        slot_us = sim_now
+        self._slot_handle = None
+        scheduler = self.scheduler
+        ues = self._ues.values()
+        busy = not self._nominal_mcs_ok or scheduler.is_busy_slot(slot_us, ues)
+        if self._idle_cursor < slot_us:
+            self._account_idle_range(slot_us)  # lazily account elided slots
+        self._idle_cursor = slot_us + 1
+        if busy:
+            self._in_slot = True
+            try:
+                self._process_slot(slot_us)
+            finally:
+                self._in_slot = False
+        else:
+            self._account_idle_slot(slot_us)
+        if not self._eliding:
+            self._schedule_slot_at(
+                self.tdd.next_ul_slot_start(slot_us + self.config.slot_us)
+            )
+            return
+        next_busy = scheduler.next_busy_slot_after(slot_us, ues)
+        if next_busy is not None:
+            self._schedule_slot_at(next_busy)
+        # else: dormant until a demand wake revives the loop.
+
+    def _demand_wake(self, needed_us: TimeUs) -> None:
+        """Demand appeared (enqueue/grant/reservation): wake the slot loop.
+
+        Targets the first uplink slot *strictly after* now — at a slot-start
+        timestamp the slot event (negative priority) has already fired
+        before whatever callback raised the demand, so the reference loop
+        could not have served it this slot either.  Spurious wake-ups are
+        harmless: the slot event treats a workless slot as idle.
+        """
+        if self._in_slot or not self._eliding:
+            return
+        handle = self._slot_handle
+        if handle is not None:
+            # The wake target is >= max(needed_us, now + 1); if the pending
+            # slot event is already at or before that, it cannot move.
+            next_slot_us = self._next_slot_us
+            if next_slot_us <= needed_us or next_slot_us <= self.sim.now + 1:
+                return
+        slot = self.tdd.next_ul_slot_start(max(needed_us, self.sim.now + 1))
+        if handle is not None:
+            if self._next_slot_us <= slot:
+                return
+            handle.cancel()
+        self._schedule_slot_at(slot)
+
+    def _catch_up_idle(self) -> None:
+        """Account idle slots the dormant loop has passed without firing."""
+        if not self._slot_loop_started:
+            return
+        limit = self.sim.now + 1
+        if self._slot_handle is not None and self._next_slot_us < limit:
+            # The pending slot event has not fired yet (setup phase): only
+            # slots strictly before it are settled.
+            limit = self._next_slot_us
+        self._account_idle_range(limit)
+
+    def _account_idle_range(self, limit_us: TimeUs) -> None:
+        """Account all idle uplink slots in ``[idle_cursor, limit_us)``.
+
+        Constant nominal MCS (the common case) is fast-forwarded per
+        capacity window via :meth:`TddFrame.ul_slot_count`; time-varying
+        nominal MCS (phased channels) falls back to a per-slot walk.
+        """
+        cursor = self._idle_cursor
+        if limit_us <= cursor:
+            return
+        self._idle_cursor = limit_us
+        if not self._ues:
+            return
+        first = self.tdd.next_ul_slot_start(cursor)
+        if first >= limit_us:
+            return
+        if self._nominal_mcs_varies:
+            for slot_us in self.tdd.ul_slots_between(first, limit_us):
+                self._account_idle_slot(slot_us)
+            return
+        granted = self.scheduler.idle_slot_granted_bits(first, self._ues.values())
+        if granted == 0:
+            return
+        window_us = self.config.capacity_window_us
+        key = first // window_us
+        last_key = (limit_us - 1) // window_us
+        while key <= last_key:
+            lo = key * window_us
+            n_slots = self.tdd.ul_slot_count(
+                max(first, lo), min(limit_us, lo + window_us)
+            )
+            if n_slots:
+                self._window(key).granted_bits += n_slots * granted
+            key += 1
+
+    def _account_idle_slot(self, slot_us: TimeUs) -> None:
+        """Account one idle slot's zero-fill proactive grants (no TBs)."""
+        granted = self.scheduler.idle_slot_granted_bits(
+            slot_us, self._ues.values()
+        )
+        if granted:
+            key = slot_us // self.config.capacity_window_us
+            self._window(key).granted_bits += granted
+
+    def _process_slot(self, slot_us: TimeUs) -> None:
         allocations = self.scheduler.schedule_slot(slot_us, self._ues.values())
         allocated_ids = {alloc.ue.ue_id for alloc in allocations}
         # Scheduling-request safety net: a UE with buffered data, no TB this
@@ -247,8 +429,6 @@ class RanSimulator:
                     self.sink.emit("tb", result.tb)
                 else:
                     self.tb_log.append(result.tb)
-        next_slot = self.tdd.next_ul_slot_start(slot_us + self.config.slot_us)
-        self.sim.at(next_slot, lambda: self._on_ul_slot(next_slot))
 
     def _in_record_window(self, slot_us: TimeUs) -> bool:
         if self._record_tb_window is None:
@@ -257,11 +437,18 @@ class RanSimulator:
         return start <= slot_us < end
 
     def _account_capacity(self, slot_us: TimeUs, tb: TransportBlockRecord) -> None:
-        window_us = self.config.capacity_window_us
-        key = slot_us // window_us
-        window = self._capacity_windows.get(key)
-        if window is None:
-            window = CapacityWindow(start_us=key * window_us)
-            self._capacity_windows[key] = window
+        window = self._window(slot_us // self.config.capacity_window_us)
         window.granted_bits += tb.size_bits
         window.used_bits += tb.used_bits
+
+    def _window(self, key: int) -> CapacityWindow:
+        window = self._capacity_windows.get(key)
+        if window is None:
+            window = CapacityWindow(start_us=key * self.config.capacity_window_us)
+            self._capacity_windows[key] = window
+            self._ordered_windows.append(window)
+            if key < self._last_window_key:
+                self._windows_sorted = False
+            else:
+                self._last_window_key = key
+        return window

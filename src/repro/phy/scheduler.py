@@ -24,7 +24,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Deque, Dict, Iterable, List, Optional, Protocol
+from typing import Callable, Deque, Dict, Iterable, List, Optional, Protocol
 
 from ..sim.units import TimeUs
 from ..trace.bus import TraceSink
@@ -76,6 +76,9 @@ class GnbScheduler:
         self._rr_offset = 0  # round-robin start for fairness
         self.advisor: Optional[GrantAdvisor] = None
         self.sink = sink
+        #: Invoked with the slot a new grant/reservation needs service at;
+        #: the RAN's idle-eliding slot loop uses it to wake up early.
+        self.wake_hook: Optional[Callable[[TimeUs], None]] = None
         # Legacy accessor: populated only when no sink carries the records.
         self.grant_log: List[GrantRecord] = []
         self.record_grants = False
@@ -134,6 +137,8 @@ class GnbScheduler:
     def _enqueue_grant(self, grant: PendingGrant) -> None:
         self._pending.setdefault(grant.ue_id, deque()).append(grant)
         self._log_grant(grant)
+        if self.wake_hook is not None:
+            self.wake_hook(grant.usable_slot_us)
 
     def reserve_retx(self, failed_slot_us: TimeUs, prbs: int) -> None:
         """Reserve capacity for a HARQ retransmission one RTT after a failure."""
@@ -141,10 +146,108 @@ class GnbScheduler:
             failed_slot_us + self._config.harq_rtt_us
         )
         self._reserved_prbs[retx_slot] = self._reserved_prbs.get(retx_slot, 0) + prbs
+        if self.wake_hook is not None:
+            self.wake_hook(retx_slot)
 
     def pending_grants_for(self, ue_id: int) -> int:
         """Bits of unserved requested grants owed to a UE (tests/SR logic)."""
         return sum(g.remaining_bits for g in self._pending.get(ue_id, ()))
+
+    # ------------------------------------------------------------------
+    # Idle-slot elision queries
+    # ------------------------------------------------------------------
+    def is_busy_slot(self, slot_us: TimeUs, ues: Iterable[UePhy]) -> bool:
+        """True if the cell has real work in this uplink slot.
+
+        A slot is *busy* when any UE has buffered data, any pending grant is
+        due (``usable_slot_us <= slot``), a HARQ retransmission reserved
+        capacity in it, or a grant advisor is installed (advisors may inject
+        work in any slot).  On a non-busy slot the only scheduler output
+        would be zero-fill proactive grants, which the slot loop accounts
+        arithmetically instead of simulating.
+        """
+        if self.advisor is not None:
+            return True
+        # Any reservation entry counts (even 0 PRBs): schedule_slot must run
+        # so the entry is popped identically on both loop paths.
+        if slot_us in self._reserved_prbs:
+            return True
+        for ue in ues:
+            if not ue.buffer.empty:
+                return True
+        for queue in self._pending.values():
+            for grant in queue:
+                if grant.usable_slot_us <= slot_us:
+                    return True
+        return False
+
+    def next_busy_slot_after(
+        self, slot_us: TimeUs, ues: Iterable[UePhy]
+    ) -> Optional[TimeUs]:
+        """Earliest uplink slot after ``slot_us`` with real work, or None.
+
+        Sources considered: buffered data on any UE, pending (even not yet
+        due) grants, HARQ retransmission reservations, and an installed
+        advisor.  Demand that *arrives later* (a packet enqueue, a decoded
+        BSR, a scheduling request) flows through :attr:`wake_hook` instead —
+        together they make the slot loop exactly as reactive as the
+        every-slot reference loop.
+        """
+        tdd = self._tdd
+        if self.advisor is not None:
+            return tdd.next_ul_slot_start(slot_us + 1)
+        for ue in ues:
+            if not ue.buffer.empty:
+                return tdd.next_ul_slot_start(slot_us + 1)
+        candidate: Optional[TimeUs] = None
+        for queue in self._pending.values():
+            for grant in queue:
+                if candidate is None or grant.usable_slot_us < candidate:
+                    candidate = grant.usable_slot_us
+        if candidate is not None:
+            candidate = tdd.next_ul_slot_start(max(candidate, slot_us + 1))
+        for retx_slot in self._reserved_prbs:
+            if retx_slot > slot_us and (candidate is None or retx_slot < candidate):
+                candidate = retx_slot
+        return candidate
+
+    def idle_slot_granted_bits(
+        self, slot_us: TimeUs, ues: Iterable[UePhy]
+    ) -> int:
+        """Granted bits a zero-demand uplink slot would produce.
+
+        Mirrors the proactive-grant stage of :meth:`schedule_slot` for a
+        slot with no requested grants, reservations, or advisor — sizing
+        PRBs from each channel's RNG-free ``nominal_mcs`` — WITHOUT
+        advancing the round-robin offset or any channel state.  The slot
+        loop multiplies this by the number of elided slots to fast-forward
+        capacity accounting arithmetically.
+        """
+        cfg = self._config
+        if not cfg.proactive_grants:
+            return 0
+        ue_list = list(ues)
+        n = len(ue_list)
+        if n == 0:
+            return 0
+        available = cfg.n_ul_prbs
+        granted = 0
+        offset = self._rr_offset
+        for i in range(n):
+            ue = ue_list[(offset + i) % n]
+            if not ue.proactive:
+                continue
+            prbs = prbs_for_bits(
+                cfg.proactive_tb_bits,
+                ue.channel.nominal_mcs(slot_us),
+                cfg.subcarriers_per_prb,
+                cfg.data_symbols_per_slot,
+            )
+            if prbs > available:
+                continue
+            available -= prbs
+            granted += cfg.proactive_tb_bits
+        return granted
 
     # ------------------------------------------------------------------
     # Per-slot allocation

@@ -6,13 +6,38 @@ here), and one uplink slot — so an uplink opportunity occurs once every
 2.5 ms while downlink slots are four times as frequent.  This class answers
 the two questions every other component asks: *is slot N uplink?* and
 *when is the next uplink slot at or after time T?*
+
+Both questions are answered in O(1): the constructor precomputes, for every
+offset within the pattern, the distance to the next uplink and downlink
+slot (``_next_ul_from`` / ``_next_dl_from``).  The tables are verified
+equivalent to the brute-force scan by property tests.
 """
 
 from __future__ import annotations
 
-from typing import Iterator, List
+from typing import Iterator, List, Tuple
 
 from ..sim.units import TimeUs
+
+
+def _distance_table(kinds: Tuple[bool, ...]) -> Tuple[int, ...]:
+    """For each offset, slots until the next position where ``kinds`` is True.
+
+    ``kinds`` must contain at least one True; distances are 0 at matching
+    offsets and wrap around the pattern period.
+    """
+    n = len(kinds)
+    table = [0] * n
+    # Walk backwards twice so the wrap-around distances resolve.
+    distance = None
+    for i in range(2 * n - 1, -1, -1):
+        if kinds[i % n]:
+            distance = 0
+        elif distance is not None:
+            distance += 1
+        if i < n:
+            table[i] = distance  # type: ignore[assignment]
+    return tuple(table)
 
 
 class TddFrame:
@@ -39,11 +64,31 @@ class TddFrame:
         self._dl_offsets: List[int] = [
             i for i, kind in enumerate(self.pattern) if kind in ("D", "S")
         ]
+        n = len(self.pattern)
+        self._n_slots = n
+        self._n_ul = len(self._ul_offsets)
+        # _ul_prefix[i] = uplink offsets among pattern positions [0, i).
+        prefix = [0] * (n + 1)
+        for i, kind in enumerate(self.pattern):
+            prefix[i + 1] = prefix[i] + (1 if (fdd or kind == "U") else 0)
+        self._ul_prefix = tuple(prefix)
+        is_ul = tuple(
+            fdd or kind == "U" for kind in self.pattern
+        )
+        is_dl = tuple(
+            fdd or kind in ("D", "S") for kind in self.pattern
+        )
+        self._is_ul = is_ul
+        self._is_dl = is_dl
+        self._next_ul_from = _distance_table(is_ul)
+        # Patterns without a downlink slot (all-U TDD) are legal for the
+        # uplink machinery; downlink arithmetic then raises at call time.
+        self._next_dl_from = _distance_table(is_dl) if any(is_dl) else None
 
     @property
     def period_us(self) -> TimeUs:
         """Duration of one pattern repetition."""
-        return self.slot_us * len(self.pattern)
+        return self.slot_us * self._n_slots
 
     @property
     def ul_period_us(self) -> TimeUs:
@@ -60,26 +105,45 @@ class TddFrame:
 
     def is_uplink_slot(self, slot_index: int) -> bool:
         """True if the slot is an uplink opportunity."""
-        if self.fdd:
-            return True
-        return self.pattern[slot_index % len(self.pattern)] == "U"
+        return self._is_ul[slot_index % self._n_slots]
 
     def is_downlink_slot(self, slot_index: int) -> bool:
         """True if the slot can carry downlink data (D or S)."""
-        if self.fdd:
-            return True
-        return self.pattern[slot_index % len(self.pattern)] in ("D", "S")
+        return self._is_dl[slot_index % self._n_slots]
 
     def next_ul_slot_start(self, time_us: TimeUs) -> TimeUs:
         """Start time of the first uplink slot beginning at or after ``time_us``."""
-        slot = self.slot_index(time_us)
-        if self.slot_start(slot) < time_us:
-            slot += 1
-        for _ in range(len(self.pattern) + 1):
-            if self.is_uplink_slot(slot):
-                return self.slot_start(slot)
-            slot += 1
-        raise RuntimeError("no uplink slot found within one pattern period")
+        slot_us = self.slot_us
+        slot = (time_us + slot_us - 1) // slot_us  # first slot starting >= time
+        slot += self._next_ul_from[slot % self._n_slots]
+        return slot * slot_us
+
+    def next_dl_slot_start(self, time_us: TimeUs) -> TimeUs:
+        """Start time of the first downlink slot beginning at or after ``time_us``."""
+        if self._next_dl_from is None:
+            raise ValueError(f"pattern {self.pattern!r} has no downlink slot")
+        slot_us = self.slot_us
+        slot = (time_us + slot_us - 1) // slot_us
+        slot += self._next_dl_from[slot % self._n_slots]
+        return slot * slot_us
+
+    def ul_slot_count(self, start_us: TimeUs, end_us: TimeUs) -> int:
+        """Number of uplink slots starting in ``[start_us, end_us)``, in O(1).
+
+        The arithmetic twin of :meth:`ul_slots_between` — used to
+        fast-forward capacity accounting over elided idle stretches without
+        walking the slots.
+        """
+        if end_us <= start_us:
+            return 0
+        return self._ul_starts_below(end_us) - self._ul_starts_below(start_us)
+
+    def _ul_starts_below(self, time_us: TimeUs) -> int:
+        """Uplink slots whose start time is strictly below ``time_us``."""
+        slot_us = self.slot_us
+        first_at_or_after = (time_us + slot_us - 1) // slot_us
+        full, rem = divmod(first_at_or_after, self._n_slots)
+        return full * self._n_ul + self._ul_prefix[rem]
 
     def ul_slots_between(self, start_us: TimeUs, end_us: TimeUs) -> Iterator[TimeUs]:
         """Yield start times of uplink slots in ``[start_us, end_us)``."""
@@ -92,7 +156,7 @@ class TddFrame:
         """Fraction of airtime available to the uplink."""
         if self.fdd:
             return 1.0
-        return len(self._ul_offsets) / len(self.pattern)
+        return len(self._ul_offsets) / self._n_slots
 
     def ascii_frame(self, periods: int = 4, bsr_delay_us: TimeUs = 10_000) -> str:
         """Render the Fig 6 schematic: the DL/UL switching pattern and the
@@ -105,10 +169,10 @@ class TddFrame:
             self.next_ul_slot_start(0) + bsr_delay_us
         )
         # Extend the rendering so the grant slot is always visible.
-        slots = max(len(self.pattern) * periods, self.slot_index(grant_us) + 1)
+        slots = max(self._n_slots * periods, self.slot_index(grant_us) + 1)
         row = "".join(
             "U" if self.is_uplink_slot(i) else
-            ("S" if self.pattern[i % len(self.pattern)] == "S" else "D")
+            ("S" if self.pattern[i % self._n_slots] == "S" else "D")
             for i in range(slots)
         )
         first_ul = self.next_ul_slot_start(0)

@@ -1,12 +1,28 @@
 """A minimal deterministic discrete-event simulation engine.
 
-The engine is a priority queue of ``(time_us, sequence, callback)`` entries.
-Ties in time are broken by insertion order, which makes runs fully
-deterministic for a given seed.  Components schedule callbacks either at an
-absolute time (:meth:`Simulator.at`) or after a delay (:meth:`Simulator.call_later`).
+The engine is a priority queue of ``(time_us, priority, sequence, handle,
+callback)`` entries.  Ties in time are broken first by ``priority`` (lower
+fires first; almost everything uses the default 0) and then by insertion
+order, which makes runs fully deterministic for a given seed.  Components
+schedule callbacks either at an absolute time (:meth:`Simulator.at`) or
+after a delay (:meth:`Simulator.call_later`).
+
+Priorities exist for one reason: a component that *elides* events (the RAN
+slot loop skipping idle slots) must be able to re-insert an event later and
+still fire in the same position among same-timestamp events as the
+non-eliding reference path.  Insertion order cannot provide that — the
+re-inserted event would have a fresh sequence number — so such components
+run at a reserved negative priority instead.
 
 Recurring activities (TDD slot clocks, frame-capture clocks, RTCP timers)
 use :meth:`Simulator.every`, which returns a handle that can be cancelled.
+Recurrence is handled by the run loop itself re-inserting a slotted
+:class:`EventHandle` — there is no per-tick closure allocation.
+
+Cancellation is lazy (entries stay in the heap and are skipped when
+popped), but the engine keeps a live-event counter so
+:meth:`Simulator.pending_events` reports the true queue depth, and the heap
+self-compacts when cancelled entries outnumber live ones.
 """
 
 from __future__ import annotations
@@ -19,22 +35,50 @@ from .units import TimeUs
 
 Callback = Callable[[], None]
 
+#: Heap entries below this many dead records never trigger compaction.
+_COMPACT_FLOOR = 64
+
 
 class EventHandle:
     """Handle for a scheduled event; supports cancellation.
 
     Cancellation is lazy: the entry stays in the heap but is skipped when
-    popped.  This keeps scheduling O(log n) with no heap surgery.
+    popped.  This keeps scheduling O(log n) with no heap surgery; the
+    simulator's live counter and compaction keep the bookkeeping honest.
     """
 
-    __slots__ = ("cancelled",)
+    __slots__ = ("cancelled", "_sim", "_queued")
+
+    #: Recurrence period; 0 on one-shot events.  Instances of
+    #: :class:`_RecurringEvent` shadow this with their real period.
+    period_us: TimeUs = 0
 
     def __init__(self) -> None:
         self.cancelled = False
+        self._sim: Optional["Simulator"] = None
+        self._queued = False
 
     def cancel(self) -> None:
         """Prevent the event (and, for recurring events, all repeats) from firing."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        if self._queued and self._sim is not None:
+            self._sim._note_cancelled()
+
+
+class _RecurringEvent(EventHandle):
+    """Slotted recurring event: the run loop re-inserts it each period.
+
+    Replaces the historical ``fire_and_reschedule`` closure pair — one
+    object for the event's whole lifetime instead of two closures per tick.
+    """
+
+    __slots__ = ("period_us",)
+
+    def __init__(self, period_us: TimeUs) -> None:
+        super().__init__()
+        self.period_us = period_us
 
 
 class SimulationError(RuntimeError):
@@ -47,7 +91,10 @@ class Simulator:
     def __init__(self) -> None:
         self._now: TimeUs = 0
         self._seq = itertools.count()
-        self._queue: List[Tuple[TimeUs, int, EventHandle, Callback]] = []
+        self._queue: List[
+            Tuple[TimeUs, int, int, EventHandle, Callback]
+        ] = []
+        self._live = 0  # queued entries whose handle is not cancelled
         self._running = False
 
     @property
@@ -55,14 +102,24 @@ class Simulator:
         """Current simulation time in microseconds."""
         return self._now
 
-    def at(self, time_us: TimeUs, callback: Callback) -> EventHandle:
-        """Schedule ``callback`` at an absolute simulation time."""
+    def at(
+        self,
+        time_us: TimeUs,
+        callback: Callback,
+        priority: int = 0,
+    ) -> EventHandle:
+        """Schedule ``callback`` at an absolute simulation time.
+
+        ``priority`` orders same-timestamp events (lower fires first) ahead
+        of insertion order; leave it at 0 unless you are re-creating an
+        elided event stream that must keep its position.
+        """
         if time_us < self._now:
             raise SimulationError(
                 f"cannot schedule at {time_us} us; current time is {self._now} us"
             )
         handle = EventHandle()
-        heapq.heappush(self._queue, (time_us, next(self._seq), handle, callback))
+        self._push(time_us, priority, handle, callback)
         return handle
 
     def call_later(self, delay_us: TimeUs, callback: Callback) -> EventHandle:
@@ -84,33 +141,76 @@ class Simulator:
         if period_us <= 0:
             raise SimulationError(f"period must be positive: {period_us}")
         first = self._now if start_us is None else start_us
-        handle = EventHandle()
-
-        def fire_and_reschedule(when: TimeUs) -> None:
-            def fire() -> None:
-                if handle.cancelled:
-                    return
-                callback()
-                if not handle.cancelled:
-                    fire_and_reschedule(when + period_us)
-
-            heapq.heappush(self._queue, (when, next(self._seq), handle, fire))
-
-        fire_and_reschedule(first)
+        if first < self._now:
+            raise SimulationError(
+                f"cannot schedule at {first} us; current time is {self._now} us"
+            )
+        handle = _RecurringEvent(period_us)
+        self._push(first, 0, handle, callback)
         return handle
 
+    # ------------------------------------------------------------------
+    # Heap internals
+    # ------------------------------------------------------------------
+    def _push(
+        self,
+        time_us: TimeUs,
+        priority: int,
+        handle: EventHandle,
+        callback: Callback,
+    ) -> None:
+        handle._sim = self
+        handle._queued = True
+        self._live += 1
+        heapq.heappush(
+            self._queue, (time_us, priority, next(self._seq), handle, callback)
+        )
+
+    def _note_cancelled(self) -> None:
+        """A queued entry's handle was cancelled; keep the live count true."""
+        self._live -= 1
+        dead = len(self._queue) - self._live
+        if dead > _COMPACT_FLOOR and dead > len(self._queue) // 2:
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled entries in place and restore the heap invariant.
+
+        In-place (slice assignment) so the run loop's local alias to the
+        queue list stays valid if a callback triggers compaction mid-run.
+        """
+        self._queue[:] = [e for e in self._queue if not e[3].cancelled]
+        heapq.heapify(self._queue)
+
+    # ------------------------------------------------------------------
+    # Run loops
+    # ------------------------------------------------------------------
     def run_until(self, end_us: TimeUs) -> None:
         """Run events with timestamps <= ``end_us``; afterwards ``now == end_us``."""
         if self._running:
             raise SimulationError("run_until called re-entrantly")
         self._running = True
+        queue = self._queue
+        pop = heapq.heappop
+        push = heapq.heappush
+        seq = self._seq
         try:
-            while self._queue and self._queue[0][0] <= end_us:
-                time_us, _seq, handle, callback = heapq.heappop(self._queue)
+            while queue and queue[0][0] <= end_us:
+                time_us, priority, _seq, handle, callback = pop(queue)
                 if handle.cancelled:
                     continue
+                handle._queued = False
+                self._live -= 1
                 self._now = time_us
                 callback()
+                period_us = handle.period_us
+                if period_us and not handle.cancelled:
+                    handle._queued = True
+                    self._live += 1
+                    push(
+                        queue,
+                        (time_us + period_us, priority, next(seq), handle, callback),
+                    )
             self._now = max(self._now, end_us)
         finally:
             self._running = False
@@ -120,16 +220,30 @@ class Simulator:
         if self._running:
             raise SimulationError("run called re-entrantly")
         self._running = True
+        queue = self._queue
+        pop = heapq.heappop
+        push = heapq.heappush
+        seq = self._seq
         try:
-            while self._queue:
-                time_us, _seq, handle, callback = heapq.heappop(self._queue)
+            while queue:
+                time_us, priority, _seq, handle, callback = pop(queue)
                 if handle.cancelled:
                     continue
+                handle._queued = False
+                self._live -= 1
                 self._now = time_us
                 callback()
+                period_us = handle.period_us
+                if period_us and not handle.cancelled:
+                    handle._queued = True
+                    self._live += 1
+                    push(
+                        queue,
+                        (time_us + period_us, priority, next(seq), handle, callback),
+                    )
         finally:
             self._running = False
 
     def pending_events(self) -> int:
-        """Number of queued (possibly cancelled) events; mainly for tests."""
-        return len(self._queue)
+        """Number of live (not cancelled) queued events."""
+        return self._live

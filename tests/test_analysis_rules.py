@@ -20,6 +20,7 @@ EXPECTED = {
     "bad_ath005.py": ("ATH005", (6, 11, 11)),
     "bad_ath006.py": ("ATH006", (7, 9, 15)),
     "bad_ath007.py": ("ATH007", (5, 6, 14)),
+    "bad_ath008.py": ("ATH008", (6, 8)),
 }
 
 
@@ -144,6 +145,52 @@ class TestHandlers:
     def test_non_sim_receiver_ignored(self):
         src = "table.at(3, row())\n"
         assert lint_source(src, rule_ids=["ATH006"]) == []
+
+
+class TestLoopCapture:
+    def test_default_bound_loop_lambda_is_fine(self):
+        src = (
+            "for p in packets:\n"
+            "    sim.at(t_us, lambda pkt=p: sink(pkt))\n"
+        )
+        assert lint_source(src, rule_ids=["ATH008"]) == []
+
+    def test_captured_loop_var_flagged(self):
+        src = (
+            "for p in packets:\n"
+            "    sim.at(t_us, lambda: sink(p))\n"
+        )
+        results = lint_source(src, rule_ids=["ATH008"])
+        assert [f.rule_id for f, _ in results] == ["ATH008"]
+        assert "`p`" in results[0][0].message
+
+    def test_outer_loop_capture_in_nested_loop_flagged(self):
+        src = (
+            "for ue in ues:\n"
+            "    for t_us in times:\n"
+            "        sim.every(t_us, lambda: poll(ue))\n"
+        )
+        assert len(lint_source(src, rule_ids=["ATH008"])) == 1
+
+    def test_lambda_outside_loop_ignored(self):
+        src = "sim.at(t_us, lambda: sink(p))\n"
+        assert lint_source(src, rule_ids=["ATH008"]) == []
+
+    def test_non_sim_receiver_ignored(self):
+        src = (
+            "for p in packets:\n"
+            "    table.at(3, lambda: row(p))\n"
+        )
+        assert lint_source(src, rule_ids=["ATH008"]) == []
+
+    def test_tuple_target_unpacking_tracked(self):
+        src = (
+            "for i, p in enumerate(packets):\n"
+            "    sim.call_later(10, lambda: sink(i, p))\n"
+        )
+        results = lint_source(src, rule_ids=["ATH008"])
+        assert len(results) == 1
+        assert "`i`, `p`" in results[0][0].message
 
 
 class TestTraceAppendRule:

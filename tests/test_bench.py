@@ -1,0 +1,66 @@
+"""The perf-regression harness: structure of ``athena-repro bench`` output.
+
+Speedup *floors* are asserted only in the dedicated bench runs (CI smoke,
+``make bench``) — wall-clock ratios are too noisy for the unit-test gate.
+Here we check the harness itself: every benchmark runs, the JSON payload is
+well-formed, and the CLI wiring dispatches to it.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.bench import (
+    bench_event_loop,
+    bench_full_stack,
+    bench_idle_heavy,
+    run_bench,
+)
+from repro.cli import build_parser
+
+
+def test_event_loop_bench_reports_throughput():
+    result = bench_event_loop(n_events=2_000, reps=1)
+    assert result["n_events"] == 2_000
+    assert result["recurring_events_per_s"] > 0
+    assert result["oneshot_events_per_s"] > 0
+
+
+def test_full_stack_bench_times_both_paths():
+    result = bench_full_stack(duration_s=0.2, reps=1)
+    assert result["elide_best_s"] > 0
+    assert result["reference_best_s"] > 0
+    assert result["speedup"] == (
+        result["reference_best_s"] / result["elide_best_s"]
+    )
+    assert result["pass"] == (result["speedup"] >= result["min_speedup"])
+
+
+def test_idle_heavy_bench_times_both_paths():
+    result = bench_idle_heavy(duration_s=1.0, reps=1)
+    assert result["elide_best_s"] > 0
+    assert result["reference_best_s"] > 0
+    assert result["speedup"] > 0
+
+
+def test_run_bench_writes_json_payload(tmp_path):
+    out = tmp_path / "BENCH_perf.json"
+    payload = run_bench(out_path=str(out), smoke=True, reps=1, report=None)
+    on_disk = json.loads(out.read_text(encoding="utf-8"))
+    assert on_disk == payload
+    assert on_disk["schema"] == "athena-bench/1"
+    assert on_disk["smoke"] is True
+    assert set(on_disk["results"]) == {
+        "event_loop", "full_stack_1s", "idle_heavy_60s", "fig7",
+    }
+    for key in ("full_stack_1s", "idle_heavy_60s"):
+        entry = on_disk["results"][key]
+        assert {"speedup", "min_speedup", "pass"} <= set(entry)
+    assert isinstance(on_disk["ok"], bool)
+
+
+def test_cli_has_bench_subcommand():
+    args = build_parser().parse_args(["bench", "--smoke", "--out", "x.json"])
+    assert args.smoke is True
+    assert args.out == "x.json"
+    assert args.fn.__name__ == "_cmd_bench"

@@ -28,5 +28,5 @@ def test_lint_rules_all_registered():
 
     assert sorted(RULES) == [
         "ATH001", "ATH002", "ATH003", "ATH004", "ATH005", "ATH006",
-        "ATH007",
+        "ATH007", "ATH008",
     ]

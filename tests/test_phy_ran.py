@@ -134,12 +134,21 @@ class TestHarqDelayInflation:
         assert packet.dropped
 
     def test_empty_tbs_also_retransmitted(self):
+        # A fully idle cell produces no TBs at all (idle slots are pure
+        # capacity arithmetic), so a second UE's traffic keeps slots busy;
+        # the monitored UE still gets zero-fill proactive grants on every
+        # busy slot, and those empty TBs run HARQ like any other.
         sim = Simulator()
         config = RanConfig(base_bler=0.5, retx_bler=0.5)
         ran = RanSimulator(sim, config, RngStreams(1))
         ran.add_ue(1, channel=FixedChannel(20, 0.5), record_tbs=True)
-        sim.run_until(ms(200.0))  # idle: only empty proactive TBs
-        empty_retx = [tb for tb in ran.tb_log if tb.is_empty and tb.is_retx]
+        ran.add_ue(2, channel=FixedChannel(20, 0.0))
+        sim.every(ms(5.0), lambda: ran.send_uplink(2, _packet()))
+        sim.run_until(ms(200.0))
+        empty_retx = [
+            tb for tb in ran.tb_log
+            if tb.ue_id == 1 and tb.is_empty and tb.is_retx
+        ]
         assert empty_retx  # "mandates the UE to retransmit empty ... TBs"
 
 

@@ -114,3 +114,80 @@ def test_ascii_frame_renders_fig6():
     grant_idx = lines[2].index("v")
     assert lines[1][grant_idx] == "U"
     assert (grant_idx - bsr_idx) * 500 >= 10_000
+
+
+class TestTableVsBruteForce:
+    """The O(1) lookup tables must agree with a linear scan everywhere."""
+
+    PATTERNS = ["DDDSU", "DDUU", "DSUDU", "U", "DU", "UUUD", "DDDDDDDDDU"]
+
+    @staticmethod
+    def _brute_next(tdd, time_us, want_ul):
+        slot = (time_us + tdd.slot_us - 1) // tdd.slot_us
+        probe = tdd.is_uplink_slot if want_ul else tdd.is_downlink_slot
+        while not probe(slot):
+            slot += 1
+        return slot * tdd.slot_us
+
+    @pytest.mark.parametrize("pattern", PATTERNS)
+    def test_next_ul_matches_brute_force_exhaustively(self, pattern):
+        tdd = TddFrame(pattern, 500)
+        # Every offset within two pattern periods, including mid-slot times.
+        for t in range(0, 2 * tdd.period_us + 1, 250):
+            assert tdd.next_ul_slot_start(t) == self._brute_next(tdd, t, True), t
+
+    @pytest.mark.parametrize("pattern", ["DDDSU", "DDUU", "DSUDU", "DU", "UUUD"])
+    def test_next_dl_matches_brute_force_exhaustively(self, pattern):
+        tdd = TddFrame(pattern, 500)
+        for t in range(0, 2 * tdd.period_us + 1, 250):
+            assert tdd.next_dl_slot_start(t) == self._brute_next(tdd, t, False), t
+
+    @pytest.mark.parametrize("pattern", PATTERNS)
+    def test_ul_slot_count_matches_enumeration(self, pattern):
+        tdd = TddFrame(pattern, 500)
+        horizon = 2 * tdd.period_us
+        for start in range(0, horizon, 250):
+            for end in range(start, horizon + 1, 250):
+                expected = len(list(tdd.ul_slots_between(start, end)))
+                assert tdd.ul_slot_count(start, end) == expected, (start, end)
+
+    def test_ul_slot_count_empty_and_inverted_ranges(self):
+        tdd = TddFrame("DDDSU", 500)
+        assert tdd.ul_slot_count(1_000, 1_000) == 0
+        assert tdd.ul_slot_count(2_000, 1_000) == 0
+
+    def test_ul_slot_count_far_ranges_stay_o1(self):
+        tdd = TddFrame("DDDSU", 500)
+        # One UL slot per 2.5 ms -> 400 per second, over any alignment.
+        assert tdd.ul_slot_count(0, 1_000_000) == 400
+        assert tdd.ul_slot_count(2_000, 1_002_000) == 400
+
+
+class TestMorePatterns:
+    def test_dduu_two_adjacent_uplink_slots(self):
+        tdd = TddFrame("DDUU", 500)
+        assert tdd.next_ul_slot_start(0) == 1_000
+        assert tdd.next_ul_slot_start(1_001) == 1_500
+        assert tdd.next_ul_slot_start(1_501) == 3_000  # wraps to next period
+        assert tdd.ul_fraction() == 0.5
+
+    def test_dsudu_interleaved(self):
+        tdd = TddFrame("DSUDU", 500)
+        assert [tdd.is_uplink_slot(i) for i in range(5)] == [
+            False, False, True, False, True,
+        ]
+        assert tdd.is_downlink_slot(1)  # S counts as downlink
+        assert tdd.ul_period_us == 1_250
+
+    def test_fdd_next_slots_are_immediate(self):
+        tdd = TddFrame("DDDSU", 500, fdd=True)
+        assert tdd.next_ul_slot_start(0) == 0
+        assert tdd.next_ul_slot_start(1) == 500
+        assert tdd.next_dl_slot_start(1) == 500
+        assert tdd.ul_slot_count(0, 10_000) == 20
+
+    def test_all_uplink_pattern_has_no_downlink(self):
+        tdd = TddFrame("U", 500)
+        assert tdd.next_ul_slot_start(123) == 500
+        with pytest.raises(ValueError):
+            tdd.next_dl_slot_start(0)

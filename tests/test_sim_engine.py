@@ -142,3 +142,100 @@ def test_pending_events_counts_queue():
     sim.at(5, lambda: None)
     sim.at(6, lambda: None)
     assert sim.pending_events() == 2
+
+
+def test_pending_events_excludes_cancelled():
+    sim = Simulator()
+    keep = sim.at(5, lambda: None)
+    drop = sim.at(6, lambda: None)
+    drop.cancel()
+    assert sim.pending_events() == 1
+    keep.cancel()
+    assert sim.pending_events() == 0
+
+
+def test_priority_orders_same_timestamp_events():
+    sim = Simulator()
+    order = []
+    sim.at(100, lambda: order.append("default"))
+    sim.at(100, lambda: order.append("early"), priority=-1)
+    sim.at(100, lambda: order.append("late"), priority=5)
+    sim.run_until(100)
+    assert order == ["early", "default", "late"]
+
+
+def test_priority_reinsertion_keeps_position():
+    # The idle-elision contract: an event cancelled and re-inserted later at
+    # the same negative priority fires before same-timestamp default events,
+    # exactly as the never-cancelled original would have.
+    sim = Simulator()
+    order = []
+    first = sim.at(100, lambda: order.append("slot"), priority=-1)
+    sim.at(100, lambda: order.append("app"))
+    first.cancel()
+    sim.at(100, lambda: order.append("slot"), priority=-1)  # re-inserted
+    sim.run_until(100)
+    assert order == ["slot", "app"]
+
+
+def test_every_rejects_start_in_the_past():
+    sim = Simulator()
+    sim.at(100, lambda: None)
+    sim.run_until(100)
+    with pytest.raises(SimulationError):
+        sim.every(10, lambda: None, start_us=50)
+
+
+def test_recurring_event_period_visible_on_handle():
+    sim = Simulator()
+    assert sim.at(5, lambda: None).period_us == 0
+    assert sim.every(250, lambda: None).period_us == 250
+
+
+def test_heap_compacts_when_cancelled_entries_dominate():
+    sim = Simulator()
+    handles = [sim.at(1_000 + i, lambda: None) for i in range(200)]
+    assert len(sim._queue) == 200
+    for handle in handles[:150]:
+        handle.cancel()
+    # Compaction kicked in once dead entries outnumbered live ones, so the
+    # heap never retains more than ~half garbage (plus the small floor).
+    dead = len(sim._queue) - sim.pending_events()
+    assert len(sim._queue) < 200
+    assert dead <= max(64, len(sim._queue) // 2)
+    assert sim.pending_events() == 50
+    sim.run()
+    assert sim.now == 1_000 + 199
+
+
+def test_small_queues_never_compact():
+    sim = Simulator()
+    handles = [sim.at(10 + i, lambda: None) for i in range(20)]
+    for handle in handles:
+        handle.cancel()
+    # Below the floor the dead entries stay until popped (lazy deletion).
+    assert len(sim._queue) == 20
+    assert sim.pending_events() == 0
+
+
+def test_cancel_recurring_from_own_callback():
+    sim = Simulator()
+    times = []
+    handle = sim.every(100, lambda: times.append(sim.now))
+
+    def stop_after_three():
+        if len(times) >= 3:
+            handle.cancel()
+
+    sim.every(100, stop_after_three, start_us=1)
+    sim.run_until(10_000)
+    assert times == [0, 100, 200]
+
+
+def test_run_until_is_resumable_with_recurring_events():
+    sim = Simulator()
+    times = []
+    sim.every(250, lambda: times.append(sim.now))
+    sim.run_until(500)
+    sim.run_until(1_000)
+    assert times == [0, 250, 500, 750, 1_000]
