@@ -1,18 +1,32 @@
-# Developer entry points. CI runs the same two commands (see
+# Developer entry points. CI runs the same commands (see
 # .github/workflows/ci.yml), so `make check` locally predicts the gate.
 
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: check lint lint-json test smoke bench
+.PHONY: check check-full lint lint-cold lint-json lint-sarif lint-changed test smoke bench
 
 check: lint test smoke
 
+# Everything `check` runs, but with the lint result cache disabled — what a
+# cold CI runner sees. Use before tagging a release or after editing rules.
+check-full: lint-cold test smoke
+
 lint:
-	$(PYTHON) -m repro.analysis
+	$(PYTHON) -m repro.analysis --cache --jobs 0
+
+lint-cold:
+	$(PYTHON) -m repro.analysis --no-cache
+
+# Sub-second pre-commit pass: only files dirty vs git are reported.
+lint-changed:
+	$(PYTHON) -m repro.analysis --cache --changed-only
 
 lint-json:
 	$(PYTHON) -m repro.analysis --format json --output lint-report.json
+
+lint-sarif:
+	$(PYTHON) -m repro.analysis --format sarif --output lint-report.sarif
 
 test:
 	$(PYTHON) -m pytest -x -q

@@ -16,6 +16,12 @@ ATH003    Time/rate identifiers carry unit suffixes; no bare float literals
 ATH004    No float ``==``/``!=`` on simulation timestamps
 ATH005    No mutable default arguments
 ATH006    Scheduled callbacks go through the event queue API cleanly
+ATH100    Unit tags flow consistently across assignments, calls, and returns
+          (whole-program dataflow over the unit-suffix discipline)
+ATH101    Every ``sink.emit(channel, record)`` matches the trace schema:
+          known channel, the channel's record type, boolean ``final=``
+ATH102    No two same-instant scheduled callbacks mutate shared state
+          without an explicit ``priority=`` ordering them
 ========  ====================================================================
 
 Findings can be suppressed per line with ``# athena-lint: disable=ATH00x``
@@ -31,19 +37,27 @@ from __future__ import annotations
 from .baseline import load_baseline, write_baseline
 from .config import LintConfig, load_config
 from .findings import Finding
-from .registry import RULES, all_rules, get_rule
-from .runner import lint_paths, lint_source, main
+from .graph import ProjectGraph
+from .registry import RULES, all_rules, get_rule, project_rules
+from .runner import lint_paths, lint_project, lint_source, lint_sources, main
+from .sarif import render_sarif, sarif_log
 
 __all__ = [
     "Finding",
     "LintConfig",
+    "ProjectGraph",
     "RULES",
     "all_rules",
     "get_rule",
     "lint_paths",
+    "lint_project",
     "lint_source",
+    "lint_sources",
     "load_baseline",
     "load_config",
     "main",
+    "project_rules",
+    "render_sarif",
+    "sarif_log",
     "write_baseline",
 ]

@@ -1,11 +1,23 @@
-"""Rule base class and the registry the runner iterates over."""
+"""Rule base classes and the registry the runner iterates over.
+
+Two rule scopes coexist:
+
+* **file** rules (ATH001–ATH008) see one :class:`LintContext` at a time and
+  implement :meth:`Rule.check`;
+* **project** rules (ATH100–ATH102) see the whole
+  :class:`~repro.analysis.graph.ProjectGraph` and implement
+  :meth:`ProjectRule.check_project`.
+"""
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Type
+from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Type
 
-from .common import LintContext
+from .common import LintContext, path_matches
 from .findings import Finding
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations
+    from .graph import ProjectGraph
 
 RULES: Dict[str, Type["Rule"]] = {}
 
@@ -17,6 +29,7 @@ class Rule:
     name: str = ""
     summary: str = ""
     hint: str = ""
+    scope: str = "file"
 
     def check(self, ctx: LintContext) -> Iterator[Finding]:
         """Yield findings for one file."""
@@ -29,6 +42,45 @@ class Rule:
         return Finding(
             rule_id=self.id,
             path=ctx.relpath,
+            line=line,
+            col=col,
+            message=message,
+            hint=hint or self.hint,
+        )
+
+
+class ProjectRule(Rule):
+    """Whole-program rule: checks the project graph instead of one file."""
+
+    scope = "project"
+
+    def __init__(self) -> None:
+        self.options: Dict[str, object] = {}
+
+    def configure(self, rule_options: Optional[Dict[str, Dict[str, object]]]) -> None:
+        """Attach this rule's ``[tool.athena-lint.rules.<id>]`` options."""
+        self.options = dict((rule_options or {}).get(self.id, {}))
+
+    def exempt(self, relpath: str) -> bool:
+        """True if ``relpath`` is exempt from this rule via config."""
+        patterns = self.options.get("exempt", [])
+        return path_matches(relpath, patterns) if patterns else False  # type: ignore[arg-type]
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        """Project rules contribute nothing in the per-file pass."""
+        return iter(())
+
+    def check_project(self, graph: "ProjectGraph") -> Iterator[Finding]:
+        """Yield findings computed over the whole project graph."""
+        raise NotImplementedError
+
+    def project_finding(
+        self, relpath: str, line: int, col: int, message: str, hint: str = ""
+    ) -> Finding:
+        """Construct a finding for this rule at ``relpath:line:col``."""
+        return Finding(
+            rule_id=self.id,
+            path=relpath,
             line=line,
             col=col,
             message=message,
@@ -54,3 +106,13 @@ def get_rule(rule_id: str) -> Rule:
 def all_rules() -> List[Rule]:
     """Instantiate every registered rule, ordered by id."""
     return [RULES[rule_id]() for rule_id in sorted(RULES)]
+
+
+def file_rules() -> List[Rule]:
+    """Instantiate the per-file rules, ordered by id."""
+    return [rule for rule in all_rules() if rule.scope == "file"]
+
+
+def project_rules() -> List[ProjectRule]:
+    """Instantiate the whole-program rules, ordered by id."""
+    return [rule for rule in all_rules() if rule.scope == "project"]  # type: ignore[misc]

@@ -1,4 +1,4 @@
-"""The ATH001–ATH008 rule implementations.
+"""The ATH001–ATH008 (per-file) and ATH100–ATH102 (project) rules.
 
 Importing this package registers every rule with :mod:`repro.analysis.registry`.
 """
@@ -6,12 +6,15 @@ Importing this package registers every rule with :mod:`repro.analysis.registry`.
 from __future__ import annotations
 
 from . import (  # noqa: F401  (import for registration side effect)
+    event_graph,
     float_eq,
     handlers,
     loop_capture,
     mutable_defaults,
     rng,
     trace_append,
+    trace_schema,
+    unit_flow,
     unit_suffix,
     wallclock,
 )

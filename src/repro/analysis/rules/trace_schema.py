@@ -1,0 +1,318 @@
+"""ATH101 — trace-schema conformance for ``sink.emit()`` call sites.
+
+The TraceSink contract (PR 3) routes every telemetry record through
+``sink.emit(channel, record, final=...)``.  The channel→record-type mapping
+is *data*, derived statically from the trace package itself:
+
+* ``repro/trace/bus.py`` defines ``CHANNEL_FIELDS`` (channel → ``Trace``
+  attribute);
+* ``repro/trace/schema.py`` annotates each ``Trace`` attribute with its
+  record list type (``packets: List[PacketRecord]``).
+
+This rule joins the two into a registry and verifies every emit site in the
+analyzed tree:
+
+* the channel is a **known** string literal (``emit("tbs", ...)`` fails);
+* the record expression's statically-inferred class **matches** the channel
+  (``emit("tb", GrantRecord(...))`` fails);
+* ``final=`` is used sanely: keyword-only, boolean-valued, and no stray
+  keyword arguments.
+
+When the analyzed file set does not contain the trace package (fixture
+corpora, single-file runs), the registry is derived from the installed
+``repro.trace`` sources next to this analyzer — still by parsing, never by
+importing.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..findings import Finding
+from ..graph import ClassInfo, ModuleInfo, ProjectGraph
+from ..registry import ProjectRule, register
+
+#: Receiver names accepted as "a TraceSink" at an ``X.emit(...)`` site.
+_SINK_RECEIVERS = ("sink", "inner")
+
+
+def _is_sink_receiver(func_expr: ast.expr) -> bool:
+    if not isinstance(func_expr, ast.Attribute) or func_expr.attr != "emit":
+        return False
+    owner = func_expr.value
+    name = owner.attr if isinstance(owner, ast.Attribute) else (
+        owner.id if isinstance(owner, ast.Name) else None
+    )
+    if name is None:
+        return False
+    return name in _SINK_RECEIVERS or name.endswith("_sink")
+
+
+def derive_registry(graph: ProjectGraph) -> Dict[str, str]:
+    """Channel → record class name, from the graph or the installed sources."""
+    registry = _registry_from_modules(
+        _find_module(graph, "trace/bus.py"), _find_module(graph, "trace/schema.py")
+    )
+    if registry:
+        return registry
+    fallback = ProjectGraph()
+    trace_dir = Path(__file__).resolve().parents[2] / "trace"
+    for name in ("bus.py", "schema.py"):
+        path = trace_dir / name
+        if path.is_file():
+            fallback.add_source(
+                f"repro/trace/{name}", path.read_text(encoding="utf-8")
+            )
+    return _registry_from_modules(
+        _find_module(fallback, "trace/bus.py"),
+        _find_module(fallback, "trace/schema.py"),
+    )
+
+
+def _find_module(graph: ProjectGraph, suffix: str) -> Optional[ModuleInfo]:
+    for relpath, module in graph.by_relpath.items():
+        if relpath.endswith(suffix):
+            return module
+    return None
+
+
+def _registry_from_modules(
+    bus: Optional[ModuleInfo], schema: Optional[ModuleInfo]
+) -> Dict[str, str]:
+    if bus is None or schema is None:
+        return {}
+    channel_fields = bus.constants.get("CHANNEL_FIELDS")
+    trace_cls = schema.classes.get("Trace")
+    if not isinstance(channel_fields, ast.Dict) or trace_cls is None:
+        return {}
+    registry: Dict[str, str] = {}
+    for key, value in zip(channel_fields.keys, channel_fields.values):
+        if not (
+            isinstance(key, ast.Constant)
+            and isinstance(key.value, str)
+            and isinstance(value, ast.Constant)
+            and isinstance(value.value, str)
+        ):
+            continue
+        field_info = trace_cls.fields.get(value.value)
+        if field_info is not None and field_info.elem_class:
+            registry[key.value] = field_info.elem_class
+    return registry
+
+
+class _LocalTypes:
+    """Record-class inference for names inside one function body."""
+
+    def __init__(self, graph: ProjectGraph, module: ModuleInfo) -> None:
+        self.graph = graph
+        self.module = module
+        self.by_name: Dict[str, Tuple[int, str]] = {}  # name -> (line, class)
+
+    def note_params(self, node: ast.AST) -> None:
+        args = getattr(node, "args", None)
+        if args is None:
+            return
+        for arg in [*args.posonlyargs, *args.args, *args.kwonlyargs]:
+            cls = self.graph.class_of_annotation(self.module, arg.annotation)
+            if cls is not None:
+                self.by_name[arg.arg] = (0, cls.name)
+
+    def note_assign(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+            target, value = stmt.targets[0], stmt.value
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            target, value = stmt.target, stmt.value
+            if isinstance(target, ast.Name):
+                cls = self.graph.class_of_annotation(self.module, stmt.annotation)
+                if cls is not None:
+                    self.by_name[target.id] = (stmt.lineno, cls.name)
+                    return
+        else:
+            return
+        if not isinstance(target, ast.Name):
+            return
+        cls_name = self.class_of_expr(value)
+        if cls_name is not None:
+            self.by_name[target.id] = (stmt.lineno, cls_name)
+        else:
+            self.by_name.pop(target.id, None)
+
+    def class_of_expr(self, expr: ast.expr) -> Optional[str]:
+        """Class name of an expression, when statically evident."""
+        if isinstance(expr, ast.Call):
+            resolved = self.graph.resolve_call(self.module, expr.func)
+            if resolved and resolved[0] == "class":
+                cls: ClassInfo = resolved[1]
+                return cls.name
+            # Unresolved CamelCase constructor: trust the name.
+            name = (
+                expr.func.attr
+                if isinstance(expr.func, ast.Attribute)
+                else expr.func.id if isinstance(expr.func, ast.Name) else None
+            )
+            if name and name[:1].isupper() and not name.isupper():
+                return name
+            return None
+        if isinstance(expr, ast.Name):
+            known = self.by_name.get(expr.id)
+            return known[1] if known else None
+        return None
+
+
+@register
+class TraceSchemaRule(ProjectRule):
+    """Statically verify every ``sink.emit(channel, record)`` call site."""
+
+    id = "ATH101"
+    name = "trace-schema"
+    summary = (
+        "emit() sites must use a registered channel, the channel's record "
+        "type, and a sane final= keyword"
+    )
+    hint = "see CHANNEL_FIELDS in repro/trace/bus.py for the channel registry"
+
+    def check_project(self, graph: ProjectGraph) -> Iterator[Finding]:
+        registry = derive_registry(graph)
+        if not registry:
+            return
+        for relpath in sorted(graph.by_relpath):
+            module = graph.by_relpath[relpath]
+            if self.exempt(relpath):
+                continue
+            yield from self._check_module(graph, module, registry)
+
+    def _check_module(
+        self, graph: ProjectGraph, module: ModuleInfo, registry: Dict[str, str]
+    ) -> Iterator[Finding]:
+        for fn_node, stmts in _function_blocks(module.tree):
+            local_types = _LocalTypes(graph, module)
+            if fn_node is not None:
+                local_types.note_params(fn_node)
+            for stmt in stmts:
+                local_types.note_assign(stmt)
+                for call in _emit_calls(stmt):
+                    yield from self._check_emit(
+                        module, call, registry, local_types
+                    )
+
+    def _check_emit(
+        self,
+        module: ModuleInfo,
+        call: ast.Call,
+        registry: Dict[str, str],
+        local_types: _LocalTypes,
+    ) -> Iterator[Finding]:
+        where = (module.relpath, call.lineno, call.col_offset)
+        if len(call.args) > 2:
+            yield self.project_finding(
+                *where,
+                "emit() takes (channel, record) positionally; "
+                "`final` must be passed by keyword",
+            )
+        for kw in call.keywords:
+            if kw.arg is None:
+                continue  # **kwargs forwarding — can't see inside
+            if kw.arg != "final":
+                yield self.project_finding(
+                    *where,
+                    f"emit() got an unexpected keyword `{kw.arg}`",
+                )
+            elif isinstance(kw.value, ast.Constant) and not isinstance(
+                kw.value.value, bool
+            ):
+                yield self.project_finding(
+                    *where,
+                    f"emit(final={kw.value.value!r}) — `final` must be a bool",
+                )
+        if not call.args:
+            return
+        channel_arg = call.args[0]
+        if not (
+            isinstance(channel_arg, ast.Constant)
+            and isinstance(channel_arg.value, str)
+        ):
+            return  # dynamic channel (the bus's own forwarding) — unseen
+        channel = channel_arg.value
+        if channel not in registry:
+            yield self.project_finding(
+                *where,
+                f"emit() on unknown channel {channel!r} "
+                f"(known: {', '.join(sorted(registry))})",
+            )
+            return
+        if len(call.args) < 2:
+            return
+        record_cls = local_types.class_of_expr(call.args[1])
+        expected = registry[channel]
+        if record_cls is not None and record_cls != expected:
+            yield self.project_finding(
+                *where,
+                f"emit({channel!r}, ...) carries a {record_cls}, but the "
+                f"channel is registered for {expected}",
+            )
+
+
+def _function_blocks(
+    tree: ast.Module,
+) -> Iterator[Tuple[Optional[ast.AST], List[ast.stmt]]]:
+    """Yield (function node or None, statements in document order).
+
+    Statements are flattened per enclosing function so local type notes see
+    assignments in the order they execute relative to emit sites.
+    """
+    def flatten(stmts: List[ast.stmt]) -> List[ast.stmt]:
+        out: List[ast.stmt] = []
+        for stmt in stmts:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                continue  # separate block
+            out.append(stmt)
+            for field_name in ("body", "orelse", "finalbody"):
+                out.extend(flatten(getattr(stmt, field_name, []) or []))
+            for handler in getattr(stmt, "handlers", []) or []:
+                out.extend(flatten(handler.body))
+        return out
+
+    def walk(stmts: List[ast.stmt]) -> Iterator[Tuple[Optional[ast.AST], List[ast.stmt]]]:
+        for stmt in stmts:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield (stmt, flatten(stmt.body))
+                yield from walk(stmt.body)
+            elif isinstance(stmt, ast.ClassDef):
+                yield from walk(stmt.body)
+            elif isinstance(stmt, (ast.If, ast.For, ast.While, ast.With, ast.Try)):
+                yield from walk(getattr(stmt, "body", []))
+                yield from walk(getattr(stmt, "orelse", []) or [])
+                yield from walk(getattr(stmt, "finalbody", []) or [])
+                for handler in getattr(stmt, "handlers", []) or []:
+                    yield from walk(handler.body)
+
+    yield (None, flatten(list(tree.body)))
+    yield from walk(list(tree.body))
+
+
+def _emit_calls(stmt: ast.stmt) -> Iterator[ast.Call]:
+    """Emit calls in this statement's *own* expressions.
+
+    Compound statements contribute only their header expressions — their
+    bodies are flattened into the block separately, so walking the whole
+    subtree here would double-count.
+    """
+    roots: List[ast.expr]
+    if isinstance(stmt, (ast.If, ast.While)):
+        roots = [stmt.test]
+    elif isinstance(stmt, ast.For):
+        roots = [stmt.iter]
+    elif isinstance(stmt, ast.With):
+        roots = [item.context_expr for item in stmt.items]
+    elif isinstance(
+        stmt, (ast.Try, ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+    ):
+        roots = []
+    else:
+        roots = [node for node in ast.iter_child_nodes(stmt) if isinstance(node, ast.expr)]
+    for root in roots:
+        for node in ast.walk(root):
+            if isinstance(node, ast.Call) and _is_sink_receiver(node.func):
+                yield node

@@ -1,0 +1,607 @@
+"""ATH100 — whole-program unit-flow inference.
+
+ATH003 checks that time/rate *names* carry unit suffixes; it cannot see a
+correctly-suffixed ``_kbps`` value flowing into a correctly-suffixed
+``_bytes`` parameter three calls away.  This rule propagates unit tags
+(:mod:`repro.analysis.types`) through assignments, call arguments, returns,
+and dataclass constructor fields using the project graph, and flags:
+
+* **binop / compare mismatches** — ``deadline_us + backoff_ms``,
+  ``if slot_us > frame_ticks:``;
+* **argument mismatches** — a ``_kbps`` local passed to a ``_bytes``
+  parameter of any function the graph can resolve (including constructors
+  and one-hop-imported helpers);
+* **assignment mismatches** — ``budget_bytes = rate_kbps``;
+* **return mismatches** — returning an ``_ms`` value from a ``*_us``
+  function.
+
+The analysis is deliberately one-sided: a value only has a unit when the
+evidence is unambiguous (suffix discipline, ``TimeUs`` annotations, resolved
+return units), and multiplication/division erase units because they change
+dimension.  Unknown never conflicts with anything, so a finding always has
+two concrete, conflicting unit tags behind it.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from ..findings import Finding
+from ..graph import (
+    ClassInfo,
+    FunctionInfo,
+    ModuleInfo,
+    ProjectGraph,
+    build_function_info,
+)
+from ..registry import ProjectRule, register
+from ..types import describe, unit_of_annotation, unit_of_name
+
+Env = Dict[str, str]  # name (or "self.attr") -> unit tag
+
+#: Builtins that return a value in the same unit as their arguments.
+_UNIT_PRESERVING_BUILTINS = frozenset(
+    {"min", "max", "abs", "round", "int", "float", "sum", "sorted"}
+)
+
+#: Leading name tokens marking mutator methods — their name suffix describes
+#: what they *consume*, not what they return, so no fallback return unit.
+_MUTATOR_PREFIXES = frozenset(
+    {
+        "add",
+        "set",
+        "push",
+        "append",
+        "record",
+        "note",
+        "mark",
+        "update",
+        "inc",
+        "increment",
+        "accumulate",
+        "emit",
+        "write",
+        "advance",
+        "consume",
+    }
+)
+
+
+def _short(node: ast.expr, limit: int = 40) -> str:
+    """Compact source form of an expression for finding messages."""
+    try:
+        text = ast.unparse(node)
+    except Exception:  # pragma: no cover - unparse failure on exotic nodes
+        return "<expr>"
+    return text if len(text) <= limit else text[: limit - 3] + "..."
+
+
+def _fallback_call_unit(func_expr: ast.expr) -> Optional[str]:
+    """Name-suffix return unit for calls the graph cannot resolve.
+
+    ``pkt.one_way_delay_us(...)`` is a ``us`` value even when ``pkt``'s type
+    is unknown.  Mutator-style names (``add_bytes``) are excluded: their
+    suffix describes the argument, not the return value.
+    """
+    if isinstance(func_expr, ast.Attribute):
+        name = func_expr.attr
+    elif isinstance(func_expr, ast.Name):
+        name = func_expr.id
+    else:
+        return None
+    tokens = name.lower().strip("_").split("_")
+    if len(tokens) < 2 or tokens[0] in _MUTATOR_PREFIXES:
+        return None
+    return unit_of_name(name)
+
+
+class _FunctionFlow:
+    """Single-pass, order-sensitive unit inference over one code block."""
+
+    def __init__(
+        self,
+        rule: "UnitFlowRule",
+        graph: ProjectGraph,
+        module: ModuleInfo,
+        owner_class: Optional[ClassInfo],
+        fn_info: Optional[FunctionInfo],
+        findings: List[Finding],
+        nested: List[Tuple[ast.AST, Optional[ClassInfo]]],
+    ) -> None:
+        self.rule = rule
+        self.graph = graph
+        self.module = module
+        self.owner_class = owner_class
+        self.fn_info = fn_info
+        self.findings = findings
+        self.nested = nested
+
+    # -- reporting ------------------------------------------------------
+    def _flag(self, node: ast.AST, message: str) -> None:
+        self.findings.append(
+            self.rule.project_finding(
+                self.module.relpath, node.lineno, node.col_offset, message
+            )
+        )
+
+    # -- statements -----------------------------------------------------
+    def block(self, stmts: Sequence[ast.stmt], env: Env) -> None:
+        for stmt in stmts:
+            self.statement(stmt, env)
+
+    def _branches(self, blocks: Sequence[Sequence[ast.stmt]], env: Env) -> None:
+        """Analyze alternative blocks; keep only agreeing env updates."""
+        base = dict(env)
+        outcomes: List[Env] = []
+        for stmts in blocks:
+            child = dict(base)
+            self.block(stmts, child)
+            outcomes.append(child)
+        merged = {
+            key: val
+            for key, val in outcomes[0].items()
+            if all(other.get(key) == val for other in outcomes[1:])
+        }
+        env.clear()
+        env.update(merged)
+
+    def statement(self, stmt: ast.stmt, env: Env) -> None:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            self.nested.append((stmt, self.owner_class))
+            return
+        if isinstance(stmt, ast.ClassDef):
+            for inner in stmt.body:
+                if isinstance(inner, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    self.nested.append((inner, None))
+            return
+        if isinstance(stmt, ast.Assign):
+            value_unit = self.unit_of(stmt.value, env)
+            for target in stmt.targets:
+                self._assign_target(target, stmt.value, value_unit, env)
+        elif isinstance(stmt, ast.AnnAssign):
+            if stmt.value is not None:
+                value_unit = self.unit_of(stmt.value, env)
+                pinned = unit_of_annotation(stmt.annotation)
+                if pinned is not None:
+                    value_unit = self._check_assign(
+                        stmt.target, pinned, value_unit, stmt.value
+                    )
+                self._assign_target(stmt.target, stmt.value, value_unit, env)
+        elif isinstance(stmt, ast.AugAssign):
+            value_unit = self.unit_of(stmt.value, env)
+            target_unit = self.unit_of(stmt.target, env)
+            if (
+                isinstance(stmt.op, (ast.Add, ast.Sub))
+                and target_unit
+                and value_unit
+                and target_unit != value_unit
+            ):
+                self._flag(
+                    stmt,
+                    f"unit mismatch: `{_short(stmt.target)}` "
+                    f"[{describe(target_unit)}] updated with "
+                    f"`{_short(stmt.value)}` [{describe(value_unit)}]",
+                )
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                value_unit = self.unit_of(stmt.value, env)
+                expected = self.fn_info.return_unit if self.fn_info else None
+                if value_unit and expected and value_unit != expected:
+                    self._flag(
+                        stmt,
+                        f"returning a {describe(value_unit)} value from "
+                        f"`{self.fn_info.qualname}`, which is declared/"
+                        f"named as {describe(expected)}",
+                    )
+        elif isinstance(stmt, ast.Expr):
+            self.unit_of(stmt.value, env)
+        elif isinstance(stmt, ast.If):
+            self.unit_of(stmt.test, env)
+            self._branches([stmt.body, stmt.orelse], env)
+        elif isinstance(stmt, ast.While):
+            self.unit_of(stmt.test, env)
+            self._branches([stmt.body], env)
+            self.block(stmt.orelse, env)
+        elif isinstance(stmt, ast.For):
+            iter_unit = self.unit_of(stmt.iter, env)
+            if isinstance(stmt.target, ast.Name):
+                if iter_unit:
+                    env[stmt.target.id] = iter_unit
+                else:
+                    env.pop(stmt.target.id, None)
+            self._branches([stmt.body], env)
+            self.block(stmt.orelse, env)
+        elif isinstance(stmt, ast.With):
+            for item in stmt.items:
+                self.unit_of(item.context_expr, env)
+            self.block(stmt.body, env)
+        elif isinstance(stmt, ast.Try):
+            handler_blocks = [h.body for h in stmt.handlers]
+            self._branches([stmt.body, *handler_blocks], env)
+            self.block(stmt.orelse, env)
+            self.block(stmt.finalbody, env)
+        elif isinstance(stmt, ast.Raise):
+            if stmt.exc is not None:
+                self.unit_of(stmt.exc, env)
+        elif isinstance(stmt, ast.Assert):
+            self.unit_of(stmt.test, env)
+        elif isinstance(stmt, ast.Delete):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    env.pop(target.id, None)
+        # Import/Global/Nonlocal/Pass/Break/Continue carry no unit flow.
+
+    def _assign_target(
+        self,
+        target: ast.expr,
+        value: ast.expr,
+        value_unit: Optional[str],
+        env: Env,
+    ) -> None:
+        if isinstance(target, ast.Name):
+            checked = self._check_assign(
+                target, unit_of_name(target.id), value_unit, value
+            )
+            if checked:
+                env[target.id] = checked
+            else:
+                env.pop(target.id, None)
+        elif isinstance(target, ast.Attribute) and isinstance(target.value, ast.Name):
+            if target.value.id == "self":
+                checked = self._check_assign(
+                    target, unit_of_name(target.attr), value_unit, value
+                )
+                key = f"self.{target.attr}"
+                if checked:
+                    env[key] = checked
+                else:
+                    env.pop(key, None)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            elts = (
+                value.elts
+                if isinstance(value, (ast.Tuple, ast.List))
+                and len(value.elts) == len(target.elts)
+                else None
+            )
+            for i, sub in enumerate(target.elts):
+                if elts is not None:
+                    self._assign_target(sub, elts[i], self.unit_of(elts[i], env), env)
+                elif isinstance(sub, ast.Name):
+                    env.pop(sub.id, None)
+
+    def _check_assign(
+        self,
+        target: ast.expr,
+        target_unit: Optional[str],
+        value_unit: Optional[str],
+        value: ast.expr,
+    ) -> Optional[str]:
+        """Flag a unit-conflicting assignment; returns the resulting tag."""
+        if target_unit and value_unit and target_unit != value_unit:
+            self._flag(
+                target,
+                f"assigning a {describe(value_unit)} value "
+                f"(`{_short(value)}`) to `{_short(target)}` "
+                f"[{describe(target_unit)}]",
+            )
+            return None
+        return value_unit or target_unit
+
+    # -- expressions ----------------------------------------------------
+    def unit_of(self, node: ast.expr, env: Env) -> Optional[str]:  # noqa: C901
+        if isinstance(node, ast.Constant):
+            return None
+        if isinstance(node, ast.Name):
+            return env.get(node.id, unit_of_name(node.id))
+        if isinstance(node, ast.Attribute):
+            self.unit_of(node.value, env)
+            if isinstance(node.value, ast.Name) and node.value.id == "self":
+                key = f"self.{node.attr}"
+                if key in env:
+                    return env[key]
+            return unit_of_name(node.attr)
+        if isinstance(node, ast.Subscript):
+            self.unit_of(node.slice, env)
+            # One level of indexing keeps the container's unit
+            # (``totals_bytes[i]`` is still bytes); a second level is
+            # destructuring heterogeneous entries (``pairs_bytes[0][0]`` may
+            # be the timestamp of a (time, size) tuple) -- unknown.
+            if isinstance(node.value, ast.Subscript):
+                self.unit_of(node.value, env)
+                return None
+            return self.unit_of(node.value, env)
+        if isinstance(node, ast.UnaryOp):
+            inner = self.unit_of(node.operand, env)
+            return inner if isinstance(node.op, (ast.USub, ast.UAdd)) else None
+        if isinstance(node, ast.BinOp):
+            return self._binop(node, env)
+        if isinstance(node, ast.BoolOp):
+            known = {
+                unit
+                for unit in (self.unit_of(v, env) for v in node.values)
+                if unit is not None
+            }
+            return known.pop() if len(known) == 1 else None
+        if isinstance(node, ast.Compare):
+            self._compare(node, env)
+            return None
+        if isinstance(node, ast.IfExp):
+            self.unit_of(node.test, env)
+            body_unit = self.unit_of(node.body, env)
+            else_unit = self.unit_of(node.orelse, env)
+            if body_unit and else_unit:
+                return body_unit if body_unit == else_unit else None
+            return body_unit or else_unit
+        if isinstance(node, ast.Call):
+            return self._call(node, env)
+        if isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+            for elt in node.elts:
+                self.unit_of(elt, env)
+            return None
+        if isinstance(node, ast.Dict):
+            for key in node.keys:
+                if key is not None:
+                    self.unit_of(key, env)
+            for val in node.values:
+                self.unit_of(val, env)
+            return None
+        if isinstance(node, (ast.ListComp, ast.SetComp, ast.GeneratorExp)):
+            return self._comprehension(node, node.elt, env)
+        if isinstance(node, ast.DictComp):
+            self._comprehension(node, node.value, env)
+            return None
+        if isinstance(node, ast.JoinedStr):
+            for value in node.values:
+                if isinstance(value, ast.FormattedValue):
+                    self.unit_of(value.value, env)
+            return None
+        if isinstance(node, ast.Starred):
+            return self.unit_of(node.value, env)
+        if isinstance(node, ast.Await):
+            return self.unit_of(node.value, env)
+        if isinstance(node, ast.Lambda):
+            self.nested.append((node, self.owner_class))
+            return None
+        if isinstance(node, ast.NamedExpr):
+            value_unit = self.unit_of(node.value, env)
+            self._assign_target(node.target, node.value, value_unit, env)
+            return value_unit
+        return None
+
+    def _binop(self, node: ast.BinOp, env: Env) -> Optional[str]:
+        lhs_unit = self.unit_of(node.left, env)
+        rhs_unit = self.unit_of(node.right, env)
+        if isinstance(node.op, (ast.Add, ast.Sub)):
+            if lhs_unit and rhs_unit:
+                if lhs_unit != rhs_unit:
+                    self._flag(
+                        node,
+                        f"unit mismatch: `{_short(node.left)}` "
+                        f"[{describe(lhs_unit)}] combined with "
+                        f"`{_short(node.right)}` [{describe(rhs_unit)}]",
+                    )
+                    return None
+                return lhs_unit
+            return lhs_unit or rhs_unit
+        if isinstance(node.op, ast.Mod):
+            # x_us % period_us and x_us % n both stay in the left unit.
+            return lhs_unit
+        # Mult/Div/FloorDiv/Pow change dimension; no tag survives.
+        return None
+
+    def _compare(self, node: ast.Compare, env: Env) -> None:
+        operands = [node.left, *node.comparators]
+        ordered_ops = (ast.Lt, ast.LtE, ast.Gt, ast.GtE, ast.Eq, ast.NotEq)
+        tagged: List[Tuple[ast.expr, str]] = []
+        for operand in operands:
+            unit = self.unit_of(operand, env)
+            if unit is not None:
+                tagged.append((operand, unit))
+        if not any(isinstance(op, ordered_ops) for op in node.ops):
+            return
+        for (left, lhs_unit), (right, rhs_unit) in zip(tagged, tagged[1:]):
+            if lhs_unit != rhs_unit:
+                self._flag(
+                    node,
+                    f"comparing `{_short(left)}` [{describe(lhs_unit)}] "
+                    f"against `{_short(right)}` [{describe(rhs_unit)}]",
+                )
+                return
+
+    def _comprehension(
+        self, node: ast.expr, elt: ast.expr, env: Env
+    ) -> Optional[str]:
+        saved: Dict[str, Optional[str]] = {}
+        for gen in node.generators:  # type: ignore[attr-defined]
+            iter_unit = self.unit_of(gen.iter, env)
+            if isinstance(gen.target, ast.Name):
+                saved.setdefault(gen.target.id, env.get(gen.target.id))
+                if iter_unit:
+                    env[gen.target.id] = iter_unit
+                else:
+                    env.pop(gen.target.id, None)
+            for cond in gen.ifs:
+                self.unit_of(cond, env)
+        if isinstance(node, ast.DictComp):
+            self.unit_of(node.key, env)
+        elem_unit = self.unit_of(elt, env)
+        for name, prior in saved.items():
+            if prior is None:
+                env.pop(name, None)
+            else:
+                env[name] = prior
+        return elem_unit
+
+    # -- calls ----------------------------------------------------------
+    def _call(self, node: ast.Call, env: Env) -> Optional[str]:
+        resolved = self.graph.resolve_call(self.module, node.func, self.owner_class)
+        if resolved is None:
+            return self._unresolved_call(node, env)
+        kind, info = resolved
+        if kind == "function":
+            # `Class.method(obj, ...)` accessed through the class still has
+            # the instance as its first positional argument.
+            is_self_call = (
+                isinstance(node.func, ast.Attribute)
+                and isinstance(node.func.value, ast.Name)
+                and node.func.value.id == "self"
+            )
+            skip_first = info.is_method and not is_self_call
+            self._check_args_against(
+                node, info.params, info.qualname, skip_first, env
+            )
+            return info.return_unit
+        if kind == "class":
+            params = self.graph.constructor_params(info)
+            if params is not None:
+                self._check_args_against(node, params, info.qualname, False, env)
+            else:
+                self._walk_args(node, env)
+            return None
+        self._walk_args(node, env)
+        return None
+
+    def _unresolved_call(self, node: ast.Call, env: Env) -> Optional[str]:
+        arg_units = self._walk_args(node, env)
+        if (
+            isinstance(node.func, ast.Name)
+            and node.func.id in _UNIT_PRESERVING_BUILTINS
+        ):
+            known = {unit for unit in arg_units if unit is not None}
+            if len(known) == 1:
+                return known.pop()
+            if len(known) > 1 and node.func.id in ("min", "max"):
+                self._flag(
+                    node,
+                    f"`{node.func.id}()` over mixed units "
+                    f"({', '.join(sorted(known))})",
+                )
+            return None
+        return _fallback_call_unit(node.func)
+
+    def _walk_args(self, node: ast.Call, env: Env) -> List[Optional[str]]:
+        units = [self.unit_of(arg, env) for arg in node.args]
+        for kw in node.keywords:
+            units.append(self.unit_of(kw.value, env))
+        return units
+
+    def _check_args_against(
+        self,
+        node: ast.Call,
+        params: Sequence,
+        qualname: str,
+        skip_first: bool,
+        env: Env,
+    ) -> None:
+        positional = [p for p in params if not p.kw_only]
+        by_name = {p.name: p for p in params}
+        offset = -1 if skip_first else 0  # first arg is the instance itself
+        for i, arg in enumerate(node.args):
+            if isinstance(arg, ast.Starred):
+                self.unit_of(arg.value, env)
+                # Positional mapping is unreliable past a *splat.
+                for later in node.args[i + 1 :]:
+                    self.unit_of(later, env)
+                break
+            arg_unit = self.unit_of(arg, env)
+            slot = i + offset
+            if slot < 0 or slot >= len(positional):
+                continue  # the instance slot, *args, or a call-arity error
+            self._check_one_arg(arg, arg_unit, positional[slot], qualname)
+        for kw in node.keywords:
+            kw_unit = self.unit_of(kw.value, env)
+            if kw.arg is None:
+                continue  # **kwargs splat
+            param = by_name.get(kw.arg)
+            if param is not None:
+                self._check_one_arg(kw.value, kw_unit, param, qualname)
+
+    def _check_one_arg(
+        self, arg: ast.expr, arg_unit: Optional[str], param, qualname: str
+    ) -> None:
+        if arg_unit and param.unit and arg_unit != param.unit:
+            self._flag(
+                arg,
+                f"argument `{_short(arg)}` [{describe(arg_unit)}] passed to "
+                f"parameter `{param.name}` [{describe(param.unit)}] "
+                f"of `{qualname}`",
+            )
+
+
+@register
+class UnitFlowRule(ProjectRule):
+    """Propagate unit tags across the project; flag conflicting flows."""
+
+    id = "ATH100"
+    name = "unit-flow"
+    summary = (
+        "cross-function unit mismatches (a _kbps value reaching a _bytes "
+        "parameter) that per-file suffix checks cannot see"
+    )
+    hint = (
+        "convert explicitly (units.ms()/us_to_ms()/bytes_to_kbits()) or "
+        "rename the identifier to its true unit"
+    )
+
+    def check_project(self, graph: ProjectGraph) -> Iterator[Finding]:
+        for relpath in sorted(graph.by_relpath):
+            module = graph.by_relpath[relpath]
+            if self.exempt(relpath):
+                continue
+            yield from self._check_module(graph, module)
+
+    def _check_module(
+        self, graph: ProjectGraph, module: ModuleInfo
+    ) -> Iterator[Finding]:
+        findings: List[Finding] = []
+        nested: List[Tuple[ast.AST, Optional[ClassInfo]]] = []
+        # Module-level code first (constants, wiring).
+        top = _FunctionFlow(self, graph, module, None, None, findings, nested)
+        module_env: Env = {}
+        for stmt in module.tree.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                nested.append((stmt, None))
+            elif isinstance(stmt, ast.ClassDef):
+                owner = module.classes.get(stmt.name)
+                for inner in stmt.body:
+                    if isinstance(inner, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        nested.append((inner, owner))
+            else:
+                top.statement(stmt, module_env)
+        # Then every function/method/lambda, breadth-first.
+        while nested:
+            node, owner = nested.pop(0)
+            self._check_callable(graph, module, node, owner, findings, nested)
+        yield from findings
+
+    def _check_callable(
+        self,
+        graph: ProjectGraph,
+        module: ModuleInfo,
+        node: ast.AST,
+        owner: Optional[ClassInfo],
+        findings: List[Finding],
+        nested: List[Tuple[ast.AST, Optional[ClassInfo]]],
+    ) -> None:
+        if isinstance(node, ast.Lambda):
+            env: Env = {}
+            flow = _FunctionFlow(self, graph, module, owner, None, findings, nested)
+            for arg in [*node.args.posonlyargs, *node.args.args, *node.args.kwonlyargs]:
+                unit = unit_of_name(arg.arg)
+                if unit:
+                    env[arg.arg] = unit
+            flow.unit_of(node.body, env)
+            return
+        assert isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        if owner is not None and owner.methods.get(node.name, None) is not None and owner.methods[node.name].node is node:
+            fn_info = owner.methods[node.name]
+        elif owner is None and module.functions.get(node.name, None) is not None and module.functions[node.name].node is node:
+            fn_info = module.functions[node.name]
+        else:
+            fn_info = build_function_info(
+                node, module.modname, owner=owner.name if owner else None
+            )
+        flow = _FunctionFlow(self, graph, module, owner, fn_info, findings, nested)
+        env = {p.name: p.unit for p in fn_info.params if p.unit}
+        flow.block(node.body, env)

@@ -1,0 +1,124 @@
+"""Unit-tag domain for the whole-program dataflow pass (ATH100).
+
+The repository's naming discipline (enforced per-file by ATH003) makes unit
+information *recoverable from names*: every time/rate/size identifier carries
+a suffix token (``delay_us``, ``rate_kbps``, ``size_bytes``).  This module
+turns those suffixes into a small abstract domain — a canonical unit tag per
+identifier — that :mod:`repro.analysis.rules.unit_flow` propagates through
+assignments, calls, and returns.
+
+The inference is deliberately conservative: a name only gets a tag when its
+final ``_``-token is an unambiguous unit, and names containing a ``per``
+token (``bytes_per_us``, ``US_PER_MS``) get **no** tag because they denote
+derived ratios, not plain quantities.  "No tag" never produces a finding.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Optional
+
+#: Suffix token -> canonical unit tag.
+UNIT_ALIASES: Dict[str, str] = {
+    "us": "us",
+    "usec": "us",
+    "ms": "ms",
+    "msec": "ms",
+    "ns": "ns",
+    "s": "s",
+    "sec": "s",
+    "secs": "s",
+    "seconds": "s",
+    "min": "min",
+    "ticks": "ticks",
+    "slots": "slots",
+    "hz": "hz",
+    "khz": "khz",
+    "mhz": "mhz",
+    "bps": "bps",
+    "kbps": "kbps",
+    "mbps": "mbps",
+    "gbps": "gbps",
+    "bits": "bits",
+    "bytes": "bytes",
+    "kb": "kb",
+    "mb": "mb",
+    "fps": "fps",
+    "db": "db",
+    "pct": "pct",
+    "percent": "pct",
+}
+
+#: Unit tag -> physical dimension (reported in messages; any two *different*
+#: canonical tags conflict, same-dimension or not — us-vs-ms is the bug).
+UNIT_DIMENSIONS: Dict[str, str] = {
+    "us": "time",
+    "ms": "time",
+    "ns": "time",
+    "s": "time",
+    "min": "time",
+    "ticks": "media-clock",
+    "slots": "slots",
+    "hz": "frequency",
+    "khz": "frequency",
+    "mhz": "frequency",
+    "bps": "rate",
+    "kbps": "rate",
+    "mbps": "rate",
+    "gbps": "rate",
+    "bits": "size",
+    "bytes": "size",
+    "kb": "size",
+    "mb": "size",
+    "fps": "frequency",
+    "db": "level",
+    "pct": "fraction",
+}
+
+#: Single-token names that are still unambiguous units (conversion helpers
+#: like ``kbps_to_bytes_per_us(kbps)`` name their parameter after the unit).
+#: Short time tokens ("us", "ms", "s") are excluded: they collide with the
+#: :mod:`repro.sim.units` conversion *functions*, whose return annotation is
+#: the authoritative source instead.
+SINGLE_TOKEN_UNITS = frozenset({"kbps", "mbps", "gbps", "bps", "fps"})
+
+#: Annotation names that pin a unit regardless of the identifier's suffix.
+ANNOTATION_UNITS: Dict[str, str] = {"TimeUs": "us"}
+
+
+def unit_of_name(name: str) -> Optional[str]:
+    """Canonical unit tag carried by ``name``'s suffix, or None.
+
+    ``deadline_us`` -> ``us``; ``rate_kbps`` -> ``kbps``; ``bytes_per_us`` ->
+    None (a ratio); ``delay`` -> None (ATH003's problem, not ours).
+    """
+    tokens = name.lower().strip("_").split("_")
+    if not tokens or not tokens[-1]:
+        return None
+    if "per" in tokens:
+        return None
+    last = tokens[-1]
+    if len(tokens) == 1:
+        return UNIT_ALIASES[last] if last in SINGLE_TOKEN_UNITS else None
+    return UNIT_ALIASES.get(last)
+
+
+def unit_of_annotation(annotation: Optional[ast.expr]) -> Optional[str]:
+    """Unit pinned by a type annotation (``TimeUs`` aliases integer us)."""
+    if annotation is None:
+        return None
+    if isinstance(annotation, ast.Name):
+        return ANNOTATION_UNITS.get(annotation.id)
+    if isinstance(annotation, ast.Attribute):
+        return ANNOTATION_UNITS.get(annotation.attr)
+    if isinstance(annotation, ast.Subscript):
+        # Optional[TimeUs] / List[TimeUs]: the element carries the unit, and
+        # subscripting the container recovers it (see unit_flow).
+        return unit_of_annotation(annotation.slice)
+    return None
+
+
+def describe(unit: str) -> str:
+    """Human-readable ``kbps (rate)`` form used in finding messages."""
+    dim = UNIT_DIMENSIONS.get(unit)
+    return f"{unit} ({dim})" if dim else unit

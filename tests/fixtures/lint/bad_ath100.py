@@ -1,0 +1,21 @@
+"""Fixture: ATH100 cross-function unit-flow mismatches."""
+
+
+def drain_queue(depth_bytes, budget_bytes):
+    return depth_bytes - budget_bytes
+
+
+def apply_rate(target_kbps):
+    queue_kbps = target_kbps
+    leftover_bytes = drain_queue(queue_kbps, 1200)  # line 10: kbps arg -> bytes param
+    return leftover_bytes
+
+
+def next_deadline(now_us, frame_ms):
+    deadline_us = now_us + frame_ms  # line 15: us + ms
+    return deadline_us
+
+
+def poll_interval_us():
+    span_ms = 40
+    return span_ms  # line 21: returns ms from a *_us function

@@ -1,0 +1,11 @@
+"""Fixture: ATH101 trace-schema conformance at sink.emit sites."""
+
+from repro.trace.schema import GrantRecord, ProbeRecord
+
+
+def report(sink, now_us):
+    probe = ProbeRecord(probe_id=1, sent_us=now_us)
+    grant = GrantRecord(t_us=now_us)
+    sink.emit("probe", grant)  # line 9: GrantRecord on the probe channel
+    sink.emit("grants", grant)  # line 10: unknown channel (field, not channel name)
+    sink.emit("probe", probe, final=1)  # line 11: final= must be a bool

@@ -23,10 +23,19 @@ def test_tree_lints_clean_with_empty_baseline():
     assert scanned > 90, f"suspiciously few files scanned: {scanned}"
 
 
+def test_analyzer_passes_its_own_rules():
+    # The analyzer polices unit suffixes and determinism; it must hold
+    # itself to the same standard (including the whole-program rules).
+    results, scanned = lint_paths(REPO_ROOT, paths=["src/repro/analysis"])
+    report = "\n".join(finding.render() for finding, _ in results)
+    assert not results, f"athena-lint does not self-lint clean:\n{report}"
+    assert scanned > 15
+
+
 def test_lint_rules_all_registered():
     from repro.analysis import RULES
 
     assert sorted(RULES) == [
         "ATH001", "ATH002", "ATH003", "ATH004", "ATH005", "ATH006",
-        "ATH007", "ATH008",
+        "ATH007", "ATH008", "ATH100", "ATH101", "ATH102",
     ]
