@@ -26,8 +26,10 @@ DEFAULT_RULE_OPTIONS: Dict[str, Dict[str, object]] = {
     "ATH001": {"exempt": ["benchmarks", "repro/bench.py"]},
     "ATH002": {"exempt": ["sim/random.py"]},
     "ATH006": {"exempt": ["sim/engine.py"]},
-    # The trace package owns the record lists (sinks, JSONL loader).
-    "ATH007": {"exempt": ["repro/trace/*.py"]},
+    # The trace package owns the record lists (sinks, JSONL loader), and
+    # the streaming analytics package is a sanctioned consumer: its
+    # AnalysisTap/replay layer rebuilds result lists from sink deliveries.
+    "ATH007": {"exempt": ["repro/trace/*.py", "repro/core/streaming/*.py"]},
 }
 
 

@@ -19,6 +19,7 @@ from ..media.rtp import FrameAssembly, FrameReassembler
 from ..media.svc import CAPTURE_SLOT_US
 from ..net.packet import make_feedback_packet
 from ..net.topology import CallTopology
+from ..core.streaming.live import LiveDiagnosis
 from ..sim.engine import Simulator
 from ..sim.units import TimeUs, ms, us_to_ms
 from ..trace.schema import CapturePoint, FrameRecord, MediaKind, PacketRecord
@@ -37,6 +38,7 @@ class VcaReceiver:
         mask_ran_delay: bool = False,
         jitter_buffer_margin_us: TimeUs = ms(10.0),
         jitter_buffer_beta: float = 4.0,
+        diagnosis: Optional[LiveDiagnosis] = None,
     ) -> None:
         self.sim = sim
         self.topology = topology
@@ -44,6 +46,9 @@ class VcaReceiver:
         self.estimator = estimator if estimator is not None else GccEstimator()
         self.feedback_interval_us = feedback_interval_us
         self.mask_ran_delay = mask_ran_delay
+        #: When set, §5.3 masking reads RAN-induced delay from the shared
+        #: LiveDiagnosis feed instead of the packet's private telemetry hook.
+        self.diagnosis = diagnosis
         self.reassembler = FrameReassembler(self._on_frame_complete)
         self.jitter_buffer = AdaptiveJitterBuffer(
             sim,
@@ -73,7 +78,11 @@ class VcaReceiver:
             horizon = arrival_us - 2_000_000
             while self._owd_window and self._owd_window[0][0] < horizon:
                 self._owd_window.popleft()
-            ran_us = packet.ran.ran_induced_us() if packet.ran else 0
+            if self.diagnosis is not None:
+                fed_us = self.diagnosis.ran_induced_us(packet.packet_id)
+                ran_us = fed_us if fed_us is not None else 0
+            else:
+                ran_us = packet.ran.ran_induced_us() if packet.ran else 0
             adjusted_arrival = arrival_us - ran_us if self.mask_ran_delay else arrival_us
             self.estimator.on_packet(
                 PacketArrival(

@@ -17,6 +17,11 @@ Four benchmarks, each timed with a warmup pass and min-of-N repetitions
   uplink slot; the elided loop goes dormant.
 * ``fig7`` — end-to-end regeneration of the Fig 7 QoE comparison, the
   repo's flagship experiment, as a macro-benchmark.
+* ``streaming_analysis`` — single-pass ``athena-repro analyze`` over an
+  emission-ordered trace file: records/s throughput, plus peak traced
+  memory vs. loading the whole trace (the batch baseline).  The pass gate
+  is the peak-memory ratio — streaming must stay well under the full
+  in-memory trace, proving the watermark window actually bounds state.
 
 Results are written to ``BENCH_perf.json`` (see README for the format).
 This module is exempt from ATH001: measuring wall-clock time is its job.
@@ -46,6 +51,10 @@ BENCH_SLOT_US = 125
 #: Acceptance floors checked by `athena-repro bench` (and CI --smoke runs).
 FULL_STACK_MIN_SPEEDUP = 1.2
 IDLE_HEAVY_MIN_SPEEDUP = 3.0
+#: Streaming analysis must peak below this fraction of the batch baseline's
+#: peak memory (loading the full trace).  Generous: the win grows with
+#: trace length, and bench traces are short.
+STREAMING_MAX_PEAK_RATIO = 0.8
 
 
 def _best_of(fn: Callable[[], float], reps: int) -> float:
@@ -175,6 +184,77 @@ def bench_idle_heavy(duration_s: float = 60.0, reps: int = 3) -> Dict[str, objec
 
 
 # ---------------------------------------------------------------------------
+# streaming analysis
+
+
+def bench_streaming_analysis(
+    duration_s: float = 10.0, reps: int = 1
+) -> Dict[str, object]:
+    """Streaming vs. batch trace analysis: throughput and peak memory.
+
+    The trace is written by a :class:`~repro.trace.bus.StreamingJsonlSink`
+    so records land in emission order — the layout a live session produces
+    and the one the watermark window is sized for.
+    """
+    import os
+    import tempfile
+    import tracemalloc
+
+    from .core.streaming import StreamingReportOperator, replay_file
+    from .run.builder import run_session
+    from .trace.bus import StreamingJsonlSink
+    from .trace.io import load_trace
+
+    fd, path = tempfile.mkstemp(suffix=".jsonl", prefix="bench_trace_")
+    os.close(fd)
+    try:
+        # live_analysis + StreamingJsonlSink: the producing session itself
+        # runs the online analytics with no full-trace retention anywhere.
+        run_session(
+            ScenarioConfig(duration_s=duration_s, seed=7,
+                           live_analysis=True),
+            sink=StreamingJsonlSink(path),
+        )
+
+        tracemalloc.start()
+        trace = load_trace(path)
+        batch_peak = tracemalloc.get_traced_memory()[1]
+        tracemalloc.stop()
+        n_records = (
+            len(trace.packets) + len(trace.transport_blocks)
+            + len(trace.grants) + len(trace.frames)
+            + len(trace.probes) + len(trace.sync_exchanges)
+        )
+        del trace
+
+        def one_pass() -> float:
+            t0 = perf_counter()
+            replay_file(path, [StreamingReportOperator()],
+                        lateness_us=ms(500.0))
+            return perf_counter() - t0
+
+        tracemalloc.start()
+        stream_s = _best_of(one_pass, reps)
+        stream_peak = tracemalloc.get_traced_memory()[1]
+        tracemalloc.stop()
+    finally:
+        os.remove(path)
+
+    ratio = stream_peak / batch_peak if batch_peak else 0.0
+    return {
+        "duration_s": duration_s,
+        "n_records": n_records,
+        "records_per_s": n_records / stream_s,
+        "stream_best_s": stream_s,
+        "stream_peak_bytes": stream_peak,
+        "batch_peak_bytes": batch_peak,
+        "peak_ratio": ratio,
+        "max_peak_ratio": STREAMING_MAX_PEAK_RATIO,
+        "pass": ratio <= STREAMING_MAX_PEAK_RATIO,
+    }
+
+
+# ---------------------------------------------------------------------------
 # fig 7 macro benchmark
 
 
@@ -213,6 +293,7 @@ def run_bench(
             "full_stack": dict(duration_s=1.0, reps=reps or 3),
             "idle_heavy": dict(duration_s=5.0, reps=reps or 1),
             "fig7": dict(duration_s=2.0, reps=reps or 1),
+            "streaming": dict(duration_s=6.0, reps=reps or 1),
         }
     else:
         plan = {
@@ -220,6 +301,7 @@ def run_bench(
             "full_stack": dict(duration_s=1.0, reps=reps or 7),
             "idle_heavy": dict(duration_s=60.0, reps=reps or 3),
             "fig7": dict(duration_s=10.0, reps=reps or 2),
+            "streaming": dict(duration_s=20.0, reps=reps or 2),
         }
 
     results: Dict[str, object] = {}
@@ -231,6 +313,10 @@ def run_bench(
     results["idle_heavy_60s"] = bench_idle_heavy(**plan["idle_heavy"])
     say("bench: Fig 7 regeneration ...")
     results["fig7"] = bench_fig7(**plan["fig7"])
+    say("bench: streaming trace analysis (peak memory vs batch) ...")
+    results["streaming_analysis"] = bench_streaming_analysis(
+        **plan["streaming"]
+    )
 
     checks: List[str] = []
     for key in ("full_stack_1s", "idle_heavy_60s"):
@@ -240,6 +326,13 @@ def run_bench(
             f"{key}: {entry['speedup']:.2f}x "  # type: ignore[index]
             f"(floor {entry['min_speedup']}x) {status}"  # type: ignore[index]
         )
+    stream = results["streaming_analysis"]
+    stream_status = "PASS" if stream["pass"] else "FAIL"  # type: ignore[index]
+    checks.append(
+        f"streaming_analysis: peak {stream['peak_ratio']:.2f}x batch "  # type: ignore[index]
+        f"(ceiling {stream['max_peak_ratio']}x), "  # type: ignore[index]
+        f"{stream['records_per_s']:.0f} records/s {stream_status}"  # type: ignore[index]
+    )
     payload = {
         "schema": "athena-bench/1",
         "smoke": smoke,

@@ -49,10 +49,26 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
-    from .core import AthenaSession, athena_report
+    if args.batch or args.synchronize:
+        # The batch session loads the whole trace; --synchronize needs it
+        # (clock alignment rewrites every capture before analysis).
+        from .core import AthenaSession, athena_report
 
-    athena = AthenaSession.from_file(args.trace, synchronize=args.synchronize)
-    print(athena_report(athena))
+        athena = AthenaSession.from_file(
+            args.trace, synchronize=args.synchronize
+        )
+        print(athena_report(athena))
+        return 0
+    # Default: single streaming pass in O(watermark window) memory —
+    # arbitrarily large trace files never get loaded whole.
+    from .core import (
+        StreamingReportOperator,
+        render_streaming_report,
+        replay_file,
+    )
+
+    results = replay_file(args.trace, [StreamingReportOperator()])
+    print(render_streaming_report(results["report"]))
     return 0
 
 
@@ -189,7 +205,11 @@ def _sweep_seed_grid(args: argparse.Namespace) -> int:
         seeds = [int(s) for s in (args.seeds or "7").split(",")]
         accesses = (args.access or "5g").split(",")
         duration_s = args.duration or 10.0
-    base = ScenarioConfig(duration_s=duration_s, record_tbs=False)
+    # Every grid run carries the live streaming analytics on its bus, so
+    # the sweep also smoke-tests the online path (the `diagnosed` column).
+    base = ScenarioConfig(
+        duration_s=duration_s, record_tbs=False, live_analysis=True
+    )
     variants = {kind: {"access": kind} for kind in accesses}
     specs = sweep_grid(base, seeds, variants)
     print(f"Running {len(specs)} sessions "
@@ -203,11 +223,13 @@ def _sweep_seed_grid(args: argparse.Namespace) -> int:
             run.value["bitrate_kbps"],
             run.value["fps"],
             run.value["stalls"],
+            run.value["diagnosed"],
         ]
         for run in runs
     ]
     print(format_table(
-        ["run", "packets", "bitrate (kbps, p50)", "fps (p50)", "stalls"],
+        ["run", "packets", "bitrate (kbps, p50)", "fps (p50)", "stalls",
+         "frames diagnosed"],
         rows,
     ))
     return 0
@@ -241,7 +263,10 @@ def build_parser() -> argparse.ArgumentParser:
     analyze.add_argument("trace")
     analyze.add_argument("--synchronize", action="store_true",
                          help="align clocks from recorded sync exchanges "
-                              "before analysis")
+                              "before analysis (loads the full trace)")
+    analyze.add_argument("--batch", action="store_true",
+                         help="use the batch AthenaSession instead of the "
+                              "default streaming single-pass analysis")
     analyze.set_defaults(fn=_cmd_analyze)
 
     figure = sub.add_parser("figure", help="regenerate one paper figure")

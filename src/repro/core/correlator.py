@@ -18,17 +18,10 @@ on).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 from ..sim.units import TimeUs, ms
-from ..trace.schema import (
-    CapturePoint,
-    FrameRecord,
-    MediaKind,
-    PacketRecord,
-    Trace,
-    TransportBlockRecord,
-)
+from ..trace.schema import CapturePoint, PacketRecord, Trace
 
 
 @dataclass
@@ -93,91 +86,25 @@ def correlate_tbs_to_packets(
     slot, the sniffer must have missed the TB that carried it, so the
     packet is evicted (reported in ``evicted_packets``) and byte accounting
     resynchronizes instead of cascading.
+
+    Implemented as a replay over the incremental
+    :class:`~repro.core.streaming.operators.TbPacketCorrelator` — the same
+    operator the live :class:`~repro.core.streaming.tap.AnalysisTap` path
+    runs, so there is exactly one byte-accounting implementation.
     """
-    tbs = sorted(
-        (tb for tb in trace.transport_blocks if tb.ue_id == ue_id),
-        key=lambda tb: tb.slot_us,
-    )
-    packets = sorted(
-        (
-            p
-            for p in trace.packets
-            if p.capture_at(CapturePoint.SENDER) is not None
-            and p.kind in (MediaKind.VIDEO, MediaKind.AUDIO)
-        ),
-        key=lambda p: p.capture_at(CapturePoint.SENDER),
-    )
+    from .streaming.operators import TbPacketCorrelator
+    from .streaming.replay import replay_trace
 
-    matches: Dict[int, TbPacketMatch] = {}
-    empty_tbs: List[int] = []
-    evicted: List[int] = []
-    queue: List[Tuple[PacketRecord, int]] = []  # (packet, remaining bytes)
-    next_packet = 0
-    core_backhaul_us = 1_000  # gNB decode -> core tap propagation
-
-    for tb in tbs:
-        slot = tb.slot_us
-        # Admit packets enqueued by this slot.
-        while next_packet < len(packets):
-            p = packets[next_packet]
-            if p.capture_at(CapturePoint.SENDER) + enqueue_latency_us <= slot:
-                queue.append((p, p.size_bytes))
-                next_packet += 1
-            else:
-                break
-        # Resynchronize: a queued packet whose core capture proves it
-        # decoded before this slot began was carried by a TB the sniffer
-        # missed — evict it so byte accounting does not cascade.
-        while queue:
-            head, remaining = queue[0]
-            core = head.capture_at(CapturePoint.CORE)
-            if core is not None and core - core_backhaul_us < slot:
-                if remaining == head.size_bytes:
-                    evicted.append(head.packet_id)
-                queue.pop(0)
-            else:
-                break
-        budget = tb.used_bits // 8
-        if budget == 0:
-            empty_tbs.append(tb.tb_id)
-            continue
-        decode_us = (
-            slot + slot_us + decode_delay_us + tb.harq_rounds * harq_rtt_us
-        )
-        while budget > 0 and queue:
-            packet, remaining = queue[0]
-            take = min(budget, remaining)
-            budget -= take
-            remaining -= take
-            match = matches.get(packet.packet_id)
-            if match is None:
-                match = TbPacketMatch(
-                    packet_id=packet.packet_id,
-                    tb_ids=[],
-                    first_tb_slot_us=slot,
-                    predicted_delivery_us=None,
-                    harq_rounds=0,
-                )
-                matches[packet.packet_id] = match
-            match.tb_ids.append(tb.tb_id)
-            match.harq_rounds = max(match.harq_rounds, tb.harq_rounds)
-            match.predicted_delivery_us = max(
-                match.predicted_delivery_us or 0, decode_us
-            )
-            if remaining == 0:
-                queue.pop(0)
-            else:
-                queue[0] = (packet, remaining)
-
-    unmatched = [
-        p.packet_id for p in packets if p.packet_id not in matches
-    ]
-    return CorrelationResult(
-        matches=matches,
-        unmatched_packets=unmatched,
-        empty_tbs=empty_tbs,
-        evicted_packets=evicted,
+    op = TbPacketCorrelator(
+        ue_id=ue_id,
+        enqueue_latency_us=enqueue_latency_us,
+        slot_us=slot_us,
+        decode_delay_us=decode_delay_us,
+        harq_rtt_us=harq_rtt_us,
     )
+    result = replay_trace(trace, [op])[op.name]
+    assert isinstance(result, CorrelationResult)
+    return result
 
 
 # ----------------------------------------------------------------------
@@ -202,31 +129,18 @@ def correlate_packets_to_frames(
     frame id.  Without (``use_rtp=False``) we fall back to clustering the
     sender-side capture times: packets separated by less than
     ``burst_gap_us`` belong to the same burst/frame.
+
+    Implemented as a replay over the incremental
+    :class:`~repro.core.streaming.operators.FrameClusterOperator` (the
+    §5.2 learned grant path trains on the same operator's live output).
     """
-    clusters: Dict[int, FrameCluster] = {}
-    video = [
-        p
-        for p in trace.packets
-        if p.kind == MediaKind.VIDEO and p.capture_at(CapturePoint.SENDER) is not None
-    ]
-    video.sort(key=lambda p: p.capture_at(CapturePoint.SENDER))
-    if use_rtp:
-        for p in video:
-            if p.rtp is None:
-                continue
-            cluster = clusters.setdefault(p.rtp.frame_id, FrameCluster())
-            _add_to_cluster(cluster, p)
-        return clusters
-    cluster_id = 0
-    last_send: Optional[TimeUs] = None
-    for p in video:
-        send = p.capture_at(CapturePoint.SENDER)
-        if last_send is not None and send - last_send > burst_gap_us:
-            cluster_id += 1
-        cluster = clusters.setdefault(cluster_id, FrameCluster())
-        _add_to_cluster(cluster, p)
-        last_send = send
-    return clusters
+    from .streaming.operators import FrameClusterOperator
+    from .streaming.replay import replay_trace
+
+    op = FrameClusterOperator(use_rtp=use_rtp, burst_gap_us=burst_gap_us)
+    result = replay_trace(trace, [op])[op.name]
+    assert isinstance(result, dict)
+    return result
 
 
 def _add_to_cluster(cluster: FrameCluster, packet: PacketRecord) -> None:

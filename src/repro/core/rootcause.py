@@ -32,6 +32,7 @@ from ..trace.schema import (
     PacketRecord,
     TbKind,
     Trace,
+    TransportBlockRecord,
 )
 
 
@@ -148,7 +149,7 @@ def packet_breakdown(
 def diagnose_frame(
     frame: FrameRecord,
     packet_index: Dict[int, PacketRecord],
-    tb_index: Dict,
+    tb_index: Dict[int, TransportBlockRecord],
     ul_period_ms: float = 2.5,
     harq_rtt_ms: float = 10.0,
 ) -> Optional[FrameDiagnosis]:
@@ -208,25 +209,17 @@ def analyze_root_causes(
     ul_period_ms: float = 2.5,
     harq_rtt_ms: float = 10.0,
 ) -> RootCauseReport:
-    """Full root-cause attribution over a trace."""
-    packet_index = trace.packet_index()
-    tb_index = trace.tb_index()
-    breakdowns: List[PacketDelayBreakdown] = []
-    for packet in trace.packets:
-        b = packet_breakdown(packet, floor_ms=0.0)
-        if b is not None:
-            breakdowns.append(b)
-    diagnoses: List[FrameDiagnosis] = []
-    counts: Counter = Counter()
-    for frame in trace.frames:
-        d = diagnose_frame(
-            frame, packet_index, tb_index, ul_period_ms, harq_rtt_ms
-        )
-        if d is not None:
-            diagnoses.append(d)
-            counts[d.cause] += 1
-    return RootCauseReport(
-        packet_breakdowns=breakdowns,
-        frame_diagnoses=diagnoses,
-        cause_counts=counts,
-    )
+    """Full root-cause attribution over a trace.
+
+    Implemented as a replay over the incremental
+    :class:`~repro.core.streaming.operators.RootCauseOperator`, the same
+    operator that feeds :class:`~repro.core.streaming.live.LiveDiagnosis`
+    during a live session.
+    """
+    from .streaming.operators import RootCauseOperator
+    from .streaming.replay import replay_trace
+
+    op = RootCauseOperator(ul_period_ms=ul_period_ms, harq_rtt_ms=harq_rtt_ms)
+    result = replay_trace(trace, [op])[op.name]
+    assert isinstance(result, RootCauseReport)
+    return result

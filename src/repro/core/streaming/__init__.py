@@ -1,0 +1,51 @@
+"""Streaming Athena core: incremental cross-layer analytics.
+
+One implementation of the paper's analysis logic, usable two ways:
+
+* **online** — an :class:`AnalysisTap` on the telemetry bus feeds
+  :class:`StreamOperator`\\ s record-by-record during the run, with state
+  bounded by a sim-time watermark, populating a :class:`LiveDiagnosis`
+  the mitigations consume;
+* **replay** — the batch entry points in :mod:`repro.core` feed a recorded
+  trace through the same operators (:func:`replay_trace` /
+  :func:`replay_file`) and return results identical to the historical
+  batch computation.
+"""
+
+from .base import StreamOperator, TimeOrderedOperator, WATERMARK_END
+from .live import LiveDiagnosis
+from .operators import (
+    DelayBreakdownOperator,
+    FrameClusterOperator,
+    RootCauseOperator,
+    SyncOffsetOperator,
+    TbPacketCorrelator,
+)
+from .replay import replay_file, replay_trace
+from .summary import (
+    Histogram,
+    StreamingReportOperator,
+    quantization_from_histogram,
+    render_streaming_report,
+)
+from .tap import AnalysisTap, record_event_time
+
+__all__ = [
+    "AnalysisTap",
+    "DelayBreakdownOperator",
+    "FrameClusterOperator",
+    "Histogram",
+    "LiveDiagnosis",
+    "RootCauseOperator",
+    "StreamOperator",
+    "StreamingReportOperator",
+    "SyncOffsetOperator",
+    "TbPacketCorrelator",
+    "TimeOrderedOperator",
+    "WATERMARK_END",
+    "quantization_from_histogram",
+    "record_event_time",
+    "render_streaming_report",
+    "replay_file",
+    "replay_trace",
+]

@@ -1,0 +1,117 @@
+"""The incremental-operator protocol behind Athena's analyses.
+
+Athena's batch functions each consumed a complete in-memory
+:class:`~repro.trace.schema.Trace`.  A :class:`StreamOperator` instead
+consumes one record at a time — the EDAF-style online formulation — and
+bounds its state with a *watermark*: a lower bound, in simulation
+microseconds, below which no further record keys will arrive.  Operators
+that need records in time order buffer them in a
+:class:`TimeOrderedOperator` heap and process the released prefix whenever
+the watermark advances; everything still buffered is drained (watermark →
++inf) at :meth:`StreamOperator.finish`.
+
+Feeding the *whole* trace and then finishing therefore reproduces the
+batch computation exactly — which is how the legacy entry points in
+:mod:`repro.core.correlator` / :mod:`repro.core.rootcause` /
+:mod:`repro.core.sync_pipeline` are now implemented — while feeding live
+records under a finite watermark keeps state O(watermark window).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import List, Optional, Tuple
+
+from ...sim.units import TimeUs
+
+#: Watermark value passed at finish(): releases every buffered record.
+WATERMARK_END: TimeUs = 2**62
+
+
+class StreamOperator:
+    """One incremental analysis fed record-by-record through a tap.
+
+    Subclasses declare the :data:`channels` they consume (names from
+    :data:`repro.trace.bus.CHANNELS`), accept records via
+    :meth:`on_record`, evict / release state in :meth:`on_watermark`, and
+    produce their result object in :meth:`finish`.
+    """
+
+    #: Channels this operator consumes; the tap filters for it.
+    channels: Tuple[str, ...] = ()
+    #: Channels whose event-time high-water marks gate this operator's
+    #: watermark.  None means all of :attr:`channels`; operators for which
+    #: a channel is *optional* (it may legitimately never produce — e.g.
+    #: TB telemetry in an emulated run) list only the mandatory ones here,
+    #: otherwise a silent channel stalls the watermark forever and state
+    #: grows with the run.
+    watermark_channels: Optional[Tuple[str, ...]] = None
+    #: Key the result is stored under in the tap's result dict.
+    name: str = "operator"
+
+    def on_record(self, channel: str, record: object) -> None:
+        """Accept one finalized record from ``channel``."""
+        raise NotImplementedError
+
+    def on_watermark(self, watermark_us: TimeUs) -> None:
+        """No record with key < ``watermark_us`` will arrive anymore."""
+
+    def finish(self) -> object:
+        """Flush remaining state and return this operator's result."""
+        self.on_watermark(WATERMARK_END)
+        return self.result()
+
+    def result(self) -> object:
+        """The operator's current result (also returned by finish)."""
+        return None
+
+
+class TimeOrderedOperator(StreamOperator):
+    """Base for operators whose logic needs records in sim-time order.
+
+    Live emission order is *finalization* order (a packet completes at the
+    receiver tap, a TB at decode), which lags and shuffles the time order
+    the batch algorithms assumed.  The heap re-sorts: records enter keyed
+    by :meth:`record_key` and are processed by :meth:`process` only once
+    the watermark passes their key, so any record no more than the tap's
+    lateness out of order lands exactly where a full sort would have put
+    it.  Ties release in arrival order (matching the stable sorts of the
+    batch code), with packets ahead of TBs where both key to one instant.
+    """
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[TimeUs, int, int, str, object]] = []
+        self._seq = 0
+
+    # ------------------------------------------------------------------
+    def record_key(self, channel: str, record: object) -> Optional[TimeUs]:
+        """Sort key of ``record``, or None to drop it (not consumed)."""
+        raise NotImplementedError
+
+    def record_phase(self, channel: str, record: object) -> int:
+        """Secondary key for ties at one instant (lower releases first)."""
+        return 0
+
+    def process(self, channel: str, record: object) -> None:
+        """Handle one record, released in key order."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    def on_record(self, channel: str, record: object) -> None:
+        key = self.record_key(channel, record)
+        if key is None:
+            return
+        self._seq += 1
+        heapq.heappush(
+            self._heap,
+            (key, self.record_phase(channel, record), self._seq, channel, record),
+        )
+
+    def on_watermark(self, watermark_us: TimeUs) -> None:
+        while self._heap and self._heap[0][0] < watermark_us:
+            _, _, _, channel, record = heapq.heappop(self._heap)
+            self.process(channel, record)
+
+    def buffered_count(self) -> int:
+        """Records currently held awaiting watermark release."""
+        return len(self._heap)

@@ -16,10 +16,9 @@ ground truth after running this pipeline.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional
 
-from ..trace.schema import CapturePoint, SyncExchangeRecord, Trace
-from .timesync import ProbeExchange, estimate_offset, estimate_offset_and_drift
+from ..trace.schema import CapturePoint, Trace
 
 
 @dataclass
@@ -35,37 +34,26 @@ class SyncResult:
         return self.offsets_us.get(point, 0.0)
 
 
-def _to_probe_exchanges(
-    records: List[SyncExchangeRecord],
-) -> List[ProbeExchange]:
-    return [ProbeExchange(t1=r.t1, t2=r.t2, t3=r.t3, t4=r.t4) for r in records]
-
-
 def estimate_host_offsets(trace: Trace, fit_drift: bool = False) -> SyncResult:
     """Estimate each capture host's clock offset from the trace's exchanges.
 
     The NTP convention in :class:`ProbeExchange` yields the *server's*
     (core's) offset relative to the client (host); we negate it so the
     result is "how far ahead the host's clock runs vs the core".
+
+    Implemented as a replay over the incremental
+    :class:`~repro.core.streaming.operators.SyncOffsetOperator`.
     """
-    by_host: Dict[str, List[SyncExchangeRecord]] = {}
-    for record in trace.sync_exchanges:
-        by_host.setdefault(record.host, []).append(record)
-    result = SyncResult()
-    for host, records in by_host.items():
-        exchanges = _to_probe_exchanges(records)
-        result.exchanges_used[host] = len(exchanges)
-        if fit_drift and len(exchanges) >= 2:
-            intercept, drift = estimate_offset_and_drift(exchanges)
-            result.offsets_us[host] = -intercept
-            result.drift_ppm[host] = -drift
-        else:
-            result.offsets_us[host] = -estimate_offset(exchanges)
-            result.drift_ppm[host] = 0.0
+    from .streaming.operators import SyncOffsetOperator
+    from .streaming.replay import replay_trace
+
+    op = SyncOffsetOperator(fit_drift=fit_drift)
+    result = replay_trace(trace, [op])[op.name]
+    assert isinstance(result, SyncResult)
     return result
 
 
-def synchronize_trace(trace: Trace, sync: SyncResult = None) -> Trace:
+def synchronize_trace(trace: Trace, sync: Optional[SyncResult] = None) -> Trace:
     """Rewrite all capture timestamps into the core's clock, in place-ish.
 
     Returns the same ``trace`` object with every non-core capture shifted

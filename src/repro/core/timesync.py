@@ -10,7 +10,7 @@ and provides estimators to recover offsets from two-way probe exchanges
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 from ..sim.units import TimeUs
 
@@ -102,14 +102,16 @@ def estimate_offset_and_drift(
 
 
 def align_captures(
-    captures: dict, reference: str, offsets_us: dict
-) -> dict:
+    captures: Dict[str, TimeUs],
+    reference: str,
+    offsets_us: Dict[str, float],
+) -> Dict[str, TimeUs]:
     """Rewrite a packet's capture timestamps into the reference host's clock.
 
     ``offsets_us[point]`` is the estimated offset of that capture host's
     clock relative to the reference (positive = that host's clock is ahead).
     """
-    aligned = {}
+    aligned: Dict[str, TimeUs] = {}
     for point, local in captures.items():
         if point == reference:
             aligned[point] = local

@@ -64,6 +64,24 @@ class PeriodicityPredictor:
         self._current_burst_bytes += size_bytes
         self._last_packet_us = time_us
 
+    def observe_burst(self, start_us: TimeUs, size_bytes: int) -> None:
+        """Feed one pre-clustered frame burst (the LiveDiagnosis feed).
+
+        The streaming frame clusterer has already separated video bursts
+        from audio and feedback chatter, so the observation lands directly
+        in the period/phase train and the size EWMA — no per-packet
+        thresholding needed.
+        """
+        self.bursts_observed += 1
+        self._burst_starts.append(start_us)
+        self._burst_sizes.append(size_bytes)
+        if self._size_estimate == 0.0:
+            self._size_estimate = float(size_bytes)
+        else:
+            self._size_estimate += self.size_alpha * (
+                size_bytes - self._size_estimate
+            )
+
     def _frame_packet_threshold(self) -> float:
         sizes = sorted(self._packet_sizes)
         if len(sizes) < 10:

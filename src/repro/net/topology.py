@@ -182,9 +182,12 @@ class CallTopology:
 
     def _on_receiver(self, packet: PacketRecord, arrival: TimeUs) -> None:
         self._stamp(packet, CapturePoint.RECEIVER)
+        # Finalize before app delivery: a live AnalysisTap on the sink then
+        # diagnoses the packet before the receiver's estimator can query the
+        # LiveDiagnosis feed about it.  (Same sim instant; trace-identical.)
+        self.sink.finalize(packet)
         if self.on_media_arrival is not None:
             self.on_media_arrival(packet, arrival)
-        self.sink.finalize(packet)
 
     # ------------------------------------------------------------------
     # Feedback direction

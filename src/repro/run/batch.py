@@ -71,6 +71,10 @@ def collect_summary(result: SessionResult) -> Dict[str, float]:
         "fps": medians["fps"],
         "ssim": medians["ssim"],
         "stalls": float(qoe.stall_count),
+        # Frames diagnosed by the live streaming analytics (0 when off).
+        "diagnosed": float(sum(result.diagnosis.cause_counts.values()))
+        if result.diagnosis is not None
+        else 0.0,
     }
 
 

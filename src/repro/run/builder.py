@@ -5,18 +5,21 @@ wanted a variant (a different access network, an extra estimator, one more
 mitigation) had to copy it.  :class:`SessionBuilder` splits the assembly
 into small named *stages* run in a fixed pipeline order::
 
+    analysis    — the live streaming-analytics tap (when enabled)
     access      — the access network (5G RAN or emulated shaper)
     path        — the WAN/SFU call topology and its telemetry sink
     endpoints   — the VCA sender and receiver
     mitigations — the §5.2 application-aware scheduling hooks
 
-Each stage reads and extends a :class:`SessionContext`.  Three registries
+Each stage reads and extends a :class:`SessionContext`.  Four registries
 make the assembly extensible without editing this module:
 
 * :func:`register_stage` — replace or add a pipeline stage;
 * :func:`register_access` — add an access-network kind (extends
   :data:`~repro.run.scenario.KNOWN_ACCESS` so configs validate);
-* :func:`register_estimator` — add a bandwidth-estimator kind.
+* :func:`register_estimator` — add a bandwidth-estimator kind;
+* :func:`register_analysis` — add a streaming operator to the live
+  analysis tap (``config.live_analysis``).
 
 The stage bodies are verbatim extractions from the old monolith, and the
 pipeline preserves its event-registration order, so for a fixed seed a
@@ -39,6 +42,13 @@ from ..app.sender import VcaSender
 from ..cc.gcc import GccEstimator
 from ..cc.nada import NadaEstimator
 from ..cc.scream import ScreamEstimator
+from ..core.streaming.live import LiveDiagnosis
+from ..core.streaming.operators import (
+    FrameClusterOperator,
+    RootCauseOperator,
+    TbPacketCorrelator,
+)
+from ..core.streaming.tap import AnalysisTap
 from ..media.svc import CAPTURE_SLOT_US
 from ..mitigation.aware_ran import AppAwareAdvisor, MediaSchedule
 from ..mitigation.ml_predictor import PeriodicityPredictor
@@ -64,7 +74,11 @@ from .scenario import (
 #: Stage names executed by default, in order.  Order matters: the simulator
 #: breaks event-time ties by insertion order, so reordering stages changes
 #: the run (and would break trace reproducibility against older versions).
-DEFAULT_PIPELINE = ("access", "path", "endpoints", "mitigations")
+#: The ``analysis`` stage runs first because it may wrap ``ctx.sink`` in an
+#: :class:`~repro.core.streaming.tap.AnalysisTap` that every later stage
+#: must capture; it registers no simulator events, so prepending it keeps
+#: traces byte-identical to the four-stage pipeline.
+DEFAULT_PIPELINE = ("analysis", "access", "path", "endpoints", "mitigations")
 
 
 @dataclass
@@ -82,6 +96,9 @@ class SessionContext:
     receiver: Optional[VcaReceiver] = None
     advisor: Optional[AppAwareAdvisor] = None
     predictor: Optional[PeriodicityPredictor] = None
+    #: Set by the ``analysis`` stage when ``config.live_analysis`` is on.
+    analysis_tap: Optional[AnalysisTap] = None
+    diagnosis: Optional[LiveDiagnosis] = None
     #: Scratch space for custom stages (never read by the built-ins).
     extras: Dict[str, object] = field(default_factory=dict)
 
@@ -89,10 +106,14 @@ class SessionContext:
 StageFn = Callable[[SessionContext], None]
 AccessFactory = Callable[[SessionContext], None]
 EstimatorFactory = Callable[[], object]
+#: Returns a StreamOperator for the live tap, or None to opt out for this
+#: config (e.g. the TB correlator when TB telemetry is off).
+AnalysisFactory = Callable[[SessionContext], Optional[object]]
 
 STAGES: Dict[str, StageFn] = {}
 ACCESS_FACTORIES: Dict[str, AccessFactory] = {}
 ESTIMATOR_FACTORIES: Dict[str, EstimatorFactory] = {}
+ANALYSIS_FACTORIES: Dict[str, AnalysisFactory] = {}
 
 
 def register_stage(name: str) -> Callable[[StageFn], StageFn]:
@@ -124,6 +145,25 @@ def register_estimator(
     def deco(fn: EstimatorFactory) -> EstimatorFactory:
         ESTIMATOR_FACTORIES[name] = fn
         KNOWN_ESTIMATORS.add(name)
+        return fn
+
+    return deco
+
+
+def register_analysis(
+    name: str,
+) -> Callable[[AnalysisFactory], AnalysisFactory]:
+    """Register a streaming-operator factory for the live analysis tap.
+
+    When ``config.live_analysis`` is on, the ``analysis`` stage calls every
+    registered factory with the :class:`SessionContext` (``ctx.diagnosis``
+    is already set) and attaches the returned operators to an
+    :class:`~repro.core.streaming.tap.AnalysisTap` wrapping the session
+    sink.  A factory may return ``None`` to opt out for this config.
+    """
+
+    def deco(fn: AnalysisFactory) -> AnalysisFactory:
+        ANALYSIS_FACTORIES[name] = fn
         return fn
 
     return deco
@@ -193,8 +233,54 @@ def _access_emulated(ctx: SessionContext) -> None:
 
 
 # ----------------------------------------------------------------------
+# Built-in live-analysis operators
+# ----------------------------------------------------------------------
+@register_analysis("root_causes")
+def _analysis_root_causes(ctx: SessionContext) -> Optional[object]:
+    assert ctx.diagnosis is not None
+    return RootCauseOperator(
+        retain_results=False,
+        on_breakdown=ctx.diagnosis.on_breakdown,
+        on_diagnosis=ctx.diagnosis.on_diagnosis,
+    )
+
+
+@register_analysis("clusters")
+def _analysis_clusters(ctx: SessionContext) -> Optional[object]:
+    assert ctx.diagnosis is not None
+    return FrameClusterOperator(
+        retain_results=False, on_cluster=ctx.diagnosis.on_cluster
+    )
+
+
+@register_analysis("correlation")
+def _analysis_correlation(ctx: SessionContext) -> Optional[object]:
+    config = ctx.config
+    if config.access != "5g" or not config.record_tbs:
+        return None  # no TB telemetry to correlate against
+    return TbPacketCorrelator(MONITORED_UE_ID, retain_results=False)
+
+
+# ----------------------------------------------------------------------
 # Pipeline stages
 # ----------------------------------------------------------------------
+@register_stage("analysis")
+def _stage_analysis(ctx: SessionContext) -> None:
+    if not ctx.config.live_analysis:
+        return
+    ctx.diagnosis = LiveDiagnosis()
+    operators = []
+    for factory in ANALYSIS_FACTORIES.values():
+        op = factory(ctx)
+        if op is not None:
+            operators.append(op)
+    tap = AnalysisTap(operators, inner=ctx.sink)
+    ctx.analysis_tap = tap
+    # Later stages (RAN, topology, endpoints) capture ctx.sink at build
+    # time, so every telemetry record now flows through the tap.
+    ctx.sink = tap
+
+
 @register_stage("access")
 def _stage_access(ctx: SessionContext) -> None:
     try:
@@ -238,6 +324,7 @@ def _stage_endpoints(ctx: SessionContext) -> None:
         mask_ran_delay=config.mask_ran_delay,
         jitter_buffer_margin_us=ms(config.jitter_buffer_margin_ms),
         jitter_buffer_beta=config.jitter_buffer_beta,
+        diagnosis=ctx.diagnosis,
     )
 
 
@@ -267,10 +354,15 @@ def _stage_mitigations(ctx: SessionContext) -> None:
     if config.aware_ran_learned:
         predictor = PeriodicityPredictor()
         ctx.predictor = predictor
-        assert ctx.topology is not None
-        ctx.topology.media_send_listeners.append(
-            lambda packet, t: predictor.observe(t, packet.size_bytes)
-        )
+        if ctx.diagnosis is not None:
+            # Train on the streaming clusterer's closed-burst feed: bursts
+            # are pre-separated from audio, so no per-packet thresholding.
+            ctx.diagnosis.add_burst_listener(predictor.observe_burst)
+        else:
+            assert ctx.topology is not None
+            ctx.topology.media_send_listeners.append(
+                lambda packet, t: predictor.observe(t, packet.size_bytes)
+            )
         sim.every(ms(500.0), lambda: predictor.refresh_schedule(schedule, sim.now))
     else:
         # Metadata path: the app announces its frame clock and keeps the
@@ -363,8 +455,10 @@ class SessionBuilder:
             ctx = self.build()
             self.start(ctx)
             ctx.sim.run_until(seconds(self.config.duration_s))
-        self.sink.close()
-        trace = self.sink.result_trace()
+        # ctx.sink is the AnalysisTap when live analysis ran; closing it
+        # drains the operators and then closes the wrapped sink.
+        ctx.sink.close()
+        trace = ctx.sink.result_trace()
         assert ctx.sender is not None and ctx.receiver is not None
         assert ctx.topology is not None
         return SessionResult(
@@ -379,6 +473,10 @@ class SessionBuilder:
             ran=ctx.ran,
             advisor=ctx.advisor,
             predictor=ctx.predictor,
+            diagnosis=ctx.diagnosis,
+            analysis=dict(ctx.analysis_tap.results)
+            if ctx.analysis_tap is not None
+            else {},
         )
 
 

@@ -17,7 +17,7 @@ validate like the built-ins.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, List, Optional, Set, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Set, Tuple
 
 from ..app.adaptation import AdaptationConfig
 from ..media.quality import QoeSummary, qoe_summary
@@ -30,6 +30,7 @@ from ..trace.schema import Trace
 if TYPE_CHECKING:  # import cycle: app endpoints import the topology/trace
     from ..app.receiver import VcaReceiver
     from ..app.sender import VcaSender
+    from ..core.streaming.live import LiveDiagnosis
     from ..mitigation.aware_ran import AppAwareAdvisor
     from ..mitigation.ml_predictor import PeriodicityPredictor
     from ..net.topology import CallTopology
@@ -78,6 +79,9 @@ class ScenarioConfig:
     record_grants: bool = False
     start_prober: bool = True
     time_sync: bool = False  # record NTP-style exchanges for offline sync
+    # Run the streaming operators live on the telemetry bus: an AnalysisTap
+    # wraps the sink and a LiveDiagnosis feed drives the mitigations.
+    live_analysis: bool = False
     jitter_buffer_margin_ms: float = 10.0  # receiver playout margin
     jitter_buffer_beta: float = 4.0  # jitter multiplier in the playout target
 
@@ -103,6 +107,10 @@ class SessionResult:
     ran: Optional["RanSimulator"]
     advisor: Optional["AppAwareAdvisor"] = None
     predictor: Optional["PeriodicityPredictor"] = None
+    #: The live cross-layer feed (populated when ``live_analysis`` was on).
+    diagnosis: Optional["LiveDiagnosis"] = None
+    #: Final operator results from the live AnalysisTap, keyed by name.
+    analysis: Dict[str, object] = field(default_factory=dict)
 
     def qoe(self) -> QoeSummary:
         """Fig 7-style QoE aggregation of this run."""

@@ -9,7 +9,13 @@ from .bus import (
     TraceSink,
 )
 from .ids import IdSpace, use_id_space
-from .io import TraceFormatError, export_csv, load_trace, save_trace
+from .io import (
+    TraceFormatError,
+    export_csv,
+    iter_trace_records,
+    load_trace,
+    save_trace,
+)
 from .schema import (
     CapturePoint,
     FrameRecord,
@@ -47,6 +53,7 @@ __all__ = [
     "TransportBlockRecord",
     "TraceFormatError",
     "export_csv",
+    "iter_trace_records",
     "load_trace",
     "save_trace",
     "use_id_space",

@@ -11,7 +11,7 @@ import csv
 import dataclasses
 import json
 from pathlib import Path
-from typing import Dict, Type, Union
+from typing import Dict, Iterator, Tuple, Type, Union
 
 from .schema import (
     FrameRecord,
@@ -113,10 +113,18 @@ def save_trace(trace: Trace, path: Union[str, Path]) -> None:
                 fh.write(json.dumps(line) + "\n")
 
 
-def load_trace(path: Union[str, Path]) -> Trace:
-    """Read a trace previously written by :func:`save_trace`."""
+def iter_trace_records(
+    path: Union[str, Path],
+) -> Iterator[Tuple[str, object]]:
+    """Lazily yield ``(tag, record)`` pairs from a tagged-JSONL trace file.
+
+    One line is parsed at a time, so readers never materialize the whole
+    file — this is what the streaming analysis path
+    (:mod:`repro.core.streaming`) and ``athena-repro analyze`` iterate.
+    ``tag`` is a channel name from :data:`repro.trace.bus.CHANNELS`, except
+    for ``"meta"`` lines, which yield their raw metadata ``dict``.
+    """
     path = Path(path)
-    trace = Trace()
     with path.open("r", encoding="utf-8") as fh:
         for line_no, raw in enumerate(fh, start=1):
             raw = raw.strip()
@@ -130,9 +138,22 @@ def load_trace(path: Union[str, Path]) -> Trace:
             if tag is None:
                 raise TraceFormatError(f"{path}:{line_no}: missing 'type' tag")
             if tag == "meta":
-                trace.metadata.update(data)
+                yield "meta", data
                 continue
-            record = _record_from_dict(tag, data)
+            if tag not in _TRACE_FIELDS:
+                raise TraceFormatError(
+                    f"{path}:{line_no}: unknown record type: {tag!r}"
+                )
+            yield tag, _record_from_dict(tag, data)
+
+
+def load_trace(path: Union[str, Path]) -> Trace:
+    """Read a trace previously written by :func:`save_trace`."""
+    trace = Trace()
+    for tag, record in iter_trace_records(path):
+        if tag == "meta":
+            trace.metadata.update(record)
+        else:
             getattr(trace, _TRACE_FIELDS[tag]).append(record)
     return trace
 

@@ -61,7 +61,7 @@ class TestMetadata:
 class TestPipeline:
     def test_default_pipeline_stages_registered(self):
         assert DEFAULT_PIPELINE == (
-            "access", "path", "endpoints", "mitigations",
+            "analysis", "access", "path", "endpoints", "mitigations",
         )
         for name in DEFAULT_PIPELINE:
             assert name in STAGES
