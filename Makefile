@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: check check-full lint lint-cold lint-json lint-sarif lint-changed test smoke bench
+.PHONY: check check-full lint lint-cold lint-json lint-sarif lint-changed test smoke smoke-multicall bench
 
 check: lint test smoke
 
@@ -33,6 +33,10 @@ test:
 
 smoke:
 	$(PYTHON) -m repro sweep --smoke
+
+# Two calls sharing one cell, through the batch executor (per-call QoE rows).
+smoke-multicall:
+	$(PYTHON) -m repro sweep --smoke --calls 2
 
 bench:
 	$(PYTHON) -m repro bench

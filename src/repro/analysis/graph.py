@@ -1,6 +1,6 @@
 """Project-wide symbol and call graph for the whole-program rules.
 
-Per-file rules (ATH001–ATH008) see one ``ast.Module`` at a time; the v2
+Per-file rules (ATH001–ATH009) see one ``ast.Module`` at a time; the v2
 rules (ATH100–ATH102) need to answer questions that span files: *which
 function does this call resolve to, and what are its parameters?* *what
 record type does ``Trace.packets`` hold?* *where was ``new_packet_id``

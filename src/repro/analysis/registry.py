@@ -2,7 +2,7 @@
 
 Two rule scopes coexist:
 
-* **file** rules (ATH001–ATH008) see one :class:`LintContext` at a time and
+* **file** rules (ATH001–ATH009) see one :class:`LintContext` at a time and
   implement :meth:`Rule.check`;
 * **project** rules (ATH100–ATH102) see the whole
   :class:`~repro.analysis.graph.ProjectGraph` and implement

@@ -1,4 +1,4 @@
-"""The ATH001–ATH008 (per-file) and ATH100–ATH102 (project) rules.
+"""The ATH001–ATH009 (per-file) and ATH100–ATH102 (project) rules.
 
 Importing this package registers every rule with :mod:`repro.analysis.registry`.
 """
@@ -6,6 +6,7 @@ Importing this package registers every rule with :mod:`repro.analysis.registry`.
 from __future__ import annotations
 
 from . import (  # noqa: F401  (import for registration side effect)
+    call_scope,
     event_graph,
     float_eq,
     handlers,

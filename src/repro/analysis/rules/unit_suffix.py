@@ -145,6 +145,16 @@ def needs_unit_suffix(name: str) -> bool:
 def _is_bool_hinted(annotation: Optional[ast.expr], default: Optional[ast.expr]) -> bool:
     if isinstance(annotation, ast.Name) and annotation.id == "bool":
         return True
+    # Optional[bool] — a tri-state flag (per-call overrides defaulting to
+    # None) keeps its boolean nature.
+    if (
+        isinstance(annotation, ast.Subscript)
+        and isinstance(annotation.value, ast.Name)
+        and annotation.value.id == "Optional"
+        and isinstance(annotation.slice, ast.Name)
+        and annotation.slice.id == "bool"
+    ):
+        return True
     if isinstance(default, ast.Constant) and isinstance(default.value, bool):
         return True
     return False

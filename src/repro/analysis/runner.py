@@ -5,7 +5,7 @@ Exposed three ways — ``athena-repro lint``, ``python -m repro.analysis``, and
 
 v2 runs two passes:
 
-1. **per-file** rules (ATH001–ATH008) on each collected file, optionally in
+1. **per-file** rules (ATH001–ATH009) on each collected file, optionally in
    a process pool and backed by the on-disk result cache;
 2. **whole-program** rules (ATH100–ATH102) on a :class:`ProjectGraph` built
    from every collected file, cached against the hash of the full file set.
@@ -317,7 +317,7 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="athena-lint",
         description="Static analysis enforcing simulator determinism and "
-        "unit-safety invariants (per-file rules ATH001-ATH008, "
+        "unit-safety invariants (per-file rules ATH001-ATH009, "
         "whole-program rules ATH100-ATH102).",
     )
     parser.add_argument("paths", nargs="*",

@@ -22,11 +22,17 @@ from ..net.topology import CallTopology
 from ..core.streaming.live import LiveDiagnosis
 from ..sim.engine import Simulator
 from ..sim.units import TimeUs, ms, us_to_ms
+from ..trace.ids import IdSpace
 from ..trace.schema import CapturePoint, FrameRecord, MediaKind, PacketRecord
 
 
 class VcaReceiver:
-    """Receiver endpoint of the monitored call direction."""
+    """Receiver endpoint of one call's monitored media direction.
+
+    ``ids`` draws the receiver's RTCP feedback packet identifiers from the
+    call's own :class:`~repro.trace.ids.IdSpace`; ``None`` keeps the
+    session-ambient allocation of the historical single-call session.
+    """
 
     def __init__(
         self,
@@ -39,10 +45,12 @@ class VcaReceiver:
         jitter_buffer_margin_us: TimeUs = ms(10.0),
         jitter_buffer_beta: float = 4.0,
         diagnosis: Optional[LiveDiagnosis] = None,
+        ids: Optional[IdSpace] = None,
     ) -> None:
         self.sim = sim
         self.topology = topology
         self.frames_by_id = frames_by_id
+        self._ids = ids
         self.estimator = estimator if estimator is not None else GccEstimator()
         self.feedback_interval_us = feedback_interval_us
         self.mask_ran_delay = mask_ran_delay
@@ -152,6 +160,6 @@ class VcaReceiver:
             p95_owd_ms=p95_owd,
             jitter_ms=us_to_ms(int(self.jitter_buffer.jitter_estimate_us())),
         )
-        packet = make_feedback_packet()
+        packet = make_feedback_packet(ids=self._ids)
         packet.app_payload = feedback  # type: ignore[attr-defined]
         self.topology.send_feedback(packet)

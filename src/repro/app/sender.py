@@ -19,16 +19,24 @@ from ..media.audio import AudioSource
 from ..media.codec import VideoEncoder
 from ..media.rtp import RtpPacketizer
 from ..media.svc import CAPTURE_SLOT_US, FpsMode, layer_for_slot, nominal_fps
+from ..net.packet import AUDIO_SSRC, VIDEO_SSRC
 from ..net.topology import CallTopology
 from ..sim.engine import Simulator
 from ..sim.units import TimeUs, ms
-from ..trace.ids import new_frame_id
+from ..trace.ids import IdSpace, new_frame_id
 from ..trace.schema import FrameRecord, MediaKind, PacketRecord
 from .adaptation import ZoomAdaptationPolicy
 
 
 class VcaSender:
-    """Sender endpoint of the monitored call direction."""
+    """Sender endpoint of one call's monitored media direction.
+
+    ``call_id`` switches the sender into multi-call mode: flows are named
+    ``call<k>.video``/``call<k>.audio``, SSRCs are offset per call, frames
+    are call-tagged, and ``ids`` draws frame/packet identifiers from the
+    call's own :class:`~repro.trace.ids.IdSpace`.  With ``call_id=None``
+    (the historical single-call session) nothing changes.
+    """
 
     def __init__(
         self,
@@ -42,6 +50,8 @@ class VcaSender:
         fixed_mode: Optional[FpsMode] = None,
         fixed_bitrate_kbps: Optional[float] = None,
         burst_spacing_us: int = 30,  # NIC serialization between burst packets
+        call_id: Optional[int] = None,
+        ids: Optional[IdSpace] = None,
     ) -> None:
         self.sim = sim
         self.topology = topology
@@ -52,8 +62,22 @@ class VcaSender:
         self.fixed_mode = fixed_mode
         self.fixed_bitrate_kbps = fixed_bitrate_kbps
         self.burst_spacing_us = burst_spacing_us
-        self.video_packetizer = RtpPacketizer("video", MediaKind.VIDEO)
-        self.audio_packetizer = RtpPacketizer("audio", MediaKind.AUDIO)
+        self.call_id = call_id
+        self._ids = ids
+        flow_prefix = "" if call_id is None else f"call{call_id}."
+        ssrc_offset = 0 if call_id is None else call_id
+        self.video_packetizer = RtpPacketizer(
+            f"{flow_prefix}video",
+            MediaKind.VIDEO,
+            ssrc=VIDEO_SSRC + ssrc_offset,
+            ids=ids,
+        )
+        self.audio_packetizer = RtpPacketizer(
+            f"{flow_prefix}audio",
+            MediaKind.AUDIO,
+            ssrc=AUDIO_SSRC + ssrc_offset,
+            ids=ids,
+        )
         self.frames_by_id: Dict[int, FrameRecord] = {}
         self._slot_index = 0
         self.mode_series = []  # (time_us, FpsMode) transitions for Fig 8
@@ -87,7 +111,7 @@ class VcaSender:
             return
         self.encoder.set_frame_rate(nominal_fps(self.mode))
         encoded = self.encoder.encode(layer)
-        frame_id = new_frame_id()
+        frame_id = self._new_frame_id()
         now = self.sim.now
         frame = FrameRecord(
             frame_id=frame_id,
@@ -98,6 +122,7 @@ class VcaSender:
             svc_layer=int(layer),
             target_fps=nominal_fps(self.mode),
             ssim=encoded.ssim,
+            call_id=self.call_id,
         )
         packets = self.video_packetizer.packetize(
             frame_id, int(layer), encoded.size_bytes, now
@@ -120,9 +145,14 @@ class VcaSender:
                     lambda p=packet: self.topology.send_media(p),
                 )
 
+    def _new_frame_id(self) -> int:
+        return (
+            self._ids.next_frame_id() if self._ids is not None else new_frame_id()
+        )
+
     def _audio_tick(self) -> None:
         sample = self.audio.next_sample()
-        frame_id = new_frame_id()
+        frame_id = self._new_frame_id()
         now = self.sim.now
         frame = FrameRecord(
             frame_id=frame_id,
@@ -132,6 +162,7 @@ class VcaSender:
             size_bytes=sample.size_bytes,
             svc_layer=-1,
             target_fps=0.0,
+            call_id=self.call_id,
         )
         packets = self.audio_packetizer.packetize(
             frame_id, -1, sample.size_bytes, now

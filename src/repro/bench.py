@@ -17,6 +17,8 @@ Four benchmarks, each timed with a warmup pass and min-of-N repetitions
   uplink slot; the elided loop goes dormant.
 * ``fig7`` — end-to-end regeneration of the Fig 7 QoE comparison, the
   repo's flagship experiment, as a macro-benchmark.
+* ``multicall`` — an N-call cell vs N separate single-call sessions: the
+  per-call overhead of sharing one TDD/grant fabric (informational).
 * ``streaming_analysis`` — single-pass ``athena-repro analyze`` over an
   emission-ordered trace file: records/s throughput, plus peak traced
   memory vs. loading the whole trace (the batch baseline).  The pass gate
@@ -38,7 +40,7 @@ from typing import Callable, Dict, List, Optional
 from .experiments.fig7_qoe import run_fig7
 from .phy import FixedChannel, RanConfig, RanSimulator
 from .run.builder import SessionBuilder
-from .run.scenario import ScenarioConfig
+from .run.scenario import CallSpec, ScenarioConfig
 from .sim import RngStreams, Simulator, ms, seconds
 from .trace import MediaKind, PacketRecord, use_id_space
 from .trace.ids import new_packet_id
@@ -136,6 +138,39 @@ def bench_full_stack(duration_s: float = 1.0, reps: int = 7) -> Dict[str, object
         "speedup": speedup,
         "min_speedup": FULL_STACK_MIN_SPEEDUP,
         "pass": speedup >= FULL_STACK_MIN_SPEEDUP,
+    }
+
+
+# ---------------------------------------------------------------------------
+# multi-call cell
+
+
+def _time_multicall(n_calls: int, duration_s: float) -> float:
+    config = ScenarioConfig(
+        seed=7, calls=[CallSpec(call_id=k) for k in range(n_calls)]
+    )
+    return _time_session(config, duration_s)
+
+
+def bench_multicall(
+    duration_s: float = 1.0, n_calls: int = 4, reps: int = 3
+) -> Dict[str, object]:
+    """N-call cell vs N separate single-call sessions.
+
+    ``per_call_overhead`` is multicall wall time over N× the single-call
+    time: 1.0 means hosting N calls in one cell costs the same as running
+    them separately; values below 1.0 mean the shared TDD/grant fabric
+    amortizes (one slot loop instead of N).  Informational — contention
+    changes the workload itself, so no pass floor applies.
+    """
+    single_s = _best_of(lambda: _time_multicall(1, duration_s), reps)
+    multi_s = _best_of(lambda: _time_multicall(n_calls, duration_s), reps)
+    return {
+        "duration_s": duration_s,
+        "n_calls": n_calls,
+        "single_call_best_s": single_s,
+        "multicall_best_s": multi_s,
+        "per_call_overhead": multi_s / (n_calls * single_s),
     }
 
 
@@ -294,6 +329,7 @@ def run_bench(
             "idle_heavy": dict(duration_s=5.0, reps=reps or 1),
             "fig7": dict(duration_s=2.0, reps=reps or 1),
             "streaming": dict(duration_s=6.0, reps=reps or 1),
+            "multicall": dict(duration_s=1.0, n_calls=2, reps=reps or 1),
         }
     else:
         plan = {
@@ -302,6 +338,7 @@ def run_bench(
             "idle_heavy": dict(duration_s=60.0, reps=reps or 3),
             "fig7": dict(duration_s=10.0, reps=reps or 2),
             "streaming": dict(duration_s=20.0, reps=reps or 2),
+            "multicall": dict(duration_s=1.0, n_calls=4, reps=reps or 3),
         }
 
     results: Dict[str, object] = {}
@@ -317,6 +354,8 @@ def run_bench(
     results["streaming_analysis"] = bench_streaming_analysis(
         **plan["streaming"]
     )
+    say("bench: multi-call cell (N calls vs N sessions) ...")
+    results["multicall"] = bench_multicall(**plan["multicall"])
 
     checks: List[str] = []
     for key in ("full_stack_1s", "idle_heavy_60s"):
@@ -332,6 +371,12 @@ def run_bench(
         f"streaming_analysis: peak {stream['peak_ratio']:.2f}x batch "  # type: ignore[index]
         f"(ceiling {stream['max_peak_ratio']}x), "  # type: ignore[index]
         f"{stream['records_per_s']:.0f} records/s {stream_status}"  # type: ignore[index]
+    )
+    multicall = results["multicall"]
+    checks.append(
+        f"multicall: {multicall['n_calls']} calls at "  # type: ignore[index]
+        f"{multicall['per_call_overhead']:.2f}x per-call cost "  # type: ignore[index]
+        "(info only)"
     )
     payload = {
         "schema": "athena-bench/1",

@@ -94,6 +94,8 @@ def _cmd_figure(args: argparse.Namespace) -> int:
             duration_s=args.duration or 30.0),
         "ext-jitterbuffer": lambda: experiments.run_ext_jitterbuffer(
             duration_s=args.duration or 40.0),
+        "ext-contention": lambda: experiments.run_ext_contention(
+            duration_s=args.duration or 10.0),
     }
     runner = runners.get(args.id)
     if runner is None:
@@ -138,6 +140,8 @@ def _cmd_reproduce_all(args: argparse.Namespace) -> int:
          lambda: experiments.run_ext_app_classes(duration_s=30.0 * scale)),
         ("ext-jitterbuffer",
          lambda: experiments.run_ext_jitterbuffer(duration_s=40.0 * scale)),
+        ("ext-contention",
+         lambda: experiments.run_ext_contention(duration_s=10.0 * scale)),
     ]
     report_lines = ["# Athena reproduction report", ""]
     for name, runner in jobs:
@@ -193,7 +197,8 @@ def _sweep_seed_grid(args: argparse.Namespace) -> int:
     """Run a seed × access grid through the parallel batch executor."""
     from .core.report import format_table
     from .run import collect_summary, run_batch, sweep_grid
-    from .run.scenario import ScenarioConfig
+    from .run.batch import collect_call_summaries
+    from .run.scenario import CallSpec, ScenarioConfig
 
     if args.smoke:
         # CI smoke: a 2×2 grid of very short runs exercising both access
@@ -205,16 +210,44 @@ def _sweep_seed_grid(args: argparse.Namespace) -> int:
         seeds = [int(s) for s in (args.seeds or "7").split(",")]
         accesses = (args.access or "5g").split(",")
         duration_s = args.duration or 10.0
+    # --calls N swaps the single call for an N-call cell; every call's QoE
+    # is reported separately (one row per call per run).
+    calls = None
+    if args.calls is not None:
+        if args.calls < 1:
+            print("--calls must be >= 1", file=sys.stderr)
+            return 2
+        calls = [CallSpec(call_id=k) for k in range(args.calls)]
     # Every grid run carries the live streaming analytics on its bus, so
     # the sweep also smoke-tests the online path (the `diagnosed` column).
     base = ScenarioConfig(
-        duration_s=duration_s, record_tbs=False, live_analysis=True
+        duration_s=duration_s, record_tbs=False, live_analysis=True,
+        calls=calls,
     )
     variants = {kind: {"access": kind} for kind in accesses}
     specs = sweep_grid(base, seeds, variants)
     print(f"Running {len(specs)} sessions "
           f"({len(accesses)} access x {len(seeds)} seeds, "
-          f"{duration_s:.0f} s each) ...")
+          f"{duration_s:.0f} s each"
+          + (f", {args.calls} calls/cell" if calls else "") + ") ...")
+    if calls:
+        runs = run_batch(specs, collect=collect_call_summaries, jobs=args.jobs)
+        rows = [
+            [
+                f"{run.label}/call{int(row['call_id'])}",
+                row["packets"],
+                row["bitrate_kbps"],
+                row["fps"],
+                row["stalls"],
+            ]
+            for run in runs
+            for row in run.value
+        ]
+        print(format_table(
+            ["run", "packets", "bitrate (kbps, p50)", "fps (p50)", "stalls"],
+            rows,
+        ))
+        return 0
     runs = run_batch(specs, collect=collect_summary, jobs=args.jobs)
     rows = [
         [
@@ -273,7 +306,7 @@ def build_parser() -> argparse.ArgumentParser:
     figure.add_argument("id", help="fig3|fig4|fig5|fig7|fig8|fig9a|fig9b|"
                                    "fig10|sec52|sec53|ext-l4s|"
                                    "ext-gcc-contexts|ext-app-classes|"
-                                   "ext-jitterbuffer")
+                                   "ext-jitterbuffer|ext-contention")
     figure.add_argument("--duration", type=float, default=None)
     figure.add_argument("--export", default=None, metavar="DIR",
                         help="write the figure's data series as CSVs")
@@ -292,7 +325,7 @@ def build_parser() -> argparse.ArgumentParser:
     # whole argument vector; registered here only so -h lists it.
     sub.add_parser(
         "lint",
-        help="run athena-lint (determinism & unit-safety rules ATH001-ATH008)",
+        help="run athena-lint (determinism & unit-safety rules ATH001-ATH009)",
         add_help=False,
     )
 
@@ -328,6 +361,9 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--smoke", action="store_true",
                        help="CI smoke grid: 2 seeds x both access kinds, "
                             "2 s runs")
+    sweep.add_argument("--calls", type=int, default=None, metavar="N",
+                       help="grid mode: N concurrent calls per cell "
+                            "(per-call QoE rows)")
     sweep.set_defaults(fn=_cmd_sweep)
     return parser
 

@@ -22,6 +22,7 @@ from .operators import (
     TbPacketCorrelator,
 )
 from .replay import replay_file, replay_trace
+from .scoped import CallScopedOperator
 from .summary import (
     Histogram,
     StreamingReportOperator,
@@ -32,6 +33,7 @@ from .tap import AnalysisTap, record_event_time
 
 __all__ = [
     "AnalysisTap",
+    "CallScopedOperator",
     "DelayBreakdownOperator",
     "FrameClusterOperator",
     "Histogram",

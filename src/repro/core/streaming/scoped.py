@@ -1,0 +1,58 @@
+"""Call-scoped operator views for multi-call cell analytics.
+
+The session bus of a multi-call cell is a *merged* record stream: N calls'
+packets, frames, probes, and sync exchanges interleave with the cell-shared
+PHY telemetry.  The streaming operators, however, reason about one call —
+frame ids restart per call (each call owns an id space), packet/TB joins
+are per UE — so feeding them the merged stream would cross-contaminate
+state.  A :class:`CallScopedOperator` wraps any
+:class:`~repro.core.streaming.base.StreamOperator` and forwards only the
+records belonging to one call: application records by their ``call_id``
+tag, PHY records by the call's ``ue_id`` (see
+:func:`repro.trace.schema.record_belongs_to_call`).
+
+One :class:`~repro.core.streaming.tap.AnalysisTap` on the session sink thus
+keeps the merged cell view, while its operator list carries N scoped copies
+of each analysis — results land under ``"<name>.call<k>"``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ...sim.units import TimeUs
+from ...trace.schema import record_belongs_to_call
+from .base import StreamOperator
+
+
+class CallScopedOperator(StreamOperator):
+    """Forward one call's slice of the merged cell stream to an operator."""
+
+    def __init__(
+        self, inner: StreamOperator, call_id: int, ue_id: Optional[int]
+    ) -> None:
+        self.inner = inner
+        self.call_id = call_id
+        self.ue_id = ue_id
+        self.channels = inner.channels
+        self.watermark_channels = inner.watermark_channels
+        self.name = f"{inner.name}.call{call_id}"
+        self.records_scoped = 0
+        self.records_dropped = 0
+
+    # ------------------------------------------------------------------
+    def on_record(self, channel: str, record: object) -> None:
+        if not record_belongs_to_call(channel, record, self.call_id, self.ue_id):
+            self.records_dropped += 1
+            return
+        self.records_scoped += 1
+        self.inner.on_record(channel, record)
+
+    def on_watermark(self, watermark_us: TimeUs) -> None:
+        self.inner.on_watermark(watermark_us)
+
+    def finish(self) -> object:
+        return self.inner.finish()
+
+    def result(self) -> object:
+        return self.inner.result()

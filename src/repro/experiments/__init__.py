@@ -17,6 +17,11 @@ from .common import (
 )
 from .export import export_figure_data
 from .ext_app_classes import ExtAppClassesResult, run_ext_app_classes
+from .ext_contention import (
+    ExtContentionResult,
+    contention_scenario,
+    run_ext_contention,
+)
 from .ext_gcc_contexts import ExtGccContextsResult, run_ext_gcc_contexts
 from .ext_jitterbuffer import ExtJitterBufferResult, run_ext_jitterbuffer
 from .ext_l4s import ExtL4sResult, run_ext_l4s
@@ -33,6 +38,7 @@ from .sec53_ran_aware_cc import Sec53Result, run_sec53
 __all__ = [
     "AblationResult",
     "ExtAppClassesResult",
+    "ExtContentionResult",
     "ExtGccContextsResult",
     "ExtJitterBufferResult",
     "ExtL4sResult",
@@ -46,11 +52,13 @@ __all__ = [
     "Fig9bResult",
     "Sec52Result",
     "Sec53Result",
+    "contention_scenario",
     "cross_traffic_scenario",
     "emulated_scenario",
     "export_figure_data",
     "idle_cell_scenario",
     "run_ext_app_classes",
+    "run_ext_contention",
     "run_ext_gcc_contexts",
     "run_ext_jitterbuffer",
     "run_ext_l4s",

@@ -21,6 +21,7 @@ from ..net.packet import (
     make_rtp_packet,
 )
 from ..sim.units import TimeUs, US_PER_SEC
+from ..trace.ids import IdSpace
 from ..trace.schema import MediaKind, PacketRecord
 
 DEFAULT_MTU_PAYLOAD = 1_100
@@ -35,6 +36,7 @@ class RtpPacketizer:
         kind: MediaKind,
         ssrc: Optional[int] = None,
         mtu_payload: int = DEFAULT_MTU_PAYLOAD,
+        ids: Optional[IdSpace] = None,
     ) -> None:
         if mtu_payload <= 0:
             raise ValueError("MTU payload must be positive")
@@ -42,6 +44,9 @@ class RtpPacketizer:
         self.kind = kind
         self.ssrc = ssrc or (VIDEO_SSRC if kind == MediaKind.VIDEO else AUDIO_SSRC)
         self.mtu_payload = mtu_payload
+        #: Call-scoped packet-id allocation; None draws from the session's
+        #: ambient id space (single-call behavior).
+        self.ids = ids
         self._seq = 0
         clock = RTP_VIDEO_CLOCK_HZ if kind == MediaKind.VIDEO else RTP_AUDIO_CLOCK_HZ
         self._clock_hz = clock
@@ -71,6 +76,7 @@ class RtpPacketizer:
                     layer_id=layer_id,
                     marker=remaining == 0,
                     frame_start=first,
+                    ids=self.ids,
                 )
             )
             first = False

@@ -20,7 +20,7 @@ path).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Dict, List, Optional, Sequence
 
 from ..phy.grants import PendingGrant
 from ..phy.params import RanConfig
@@ -126,3 +126,47 @@ class AppAwareAdvisor:
             usable_slot_us=slot_us,
             issued_us=slot_us,
         )
+
+
+class MultiCallAdvisor:
+    """Arbitrates §5.2 grant scheduling across N calls sharing one cell.
+
+    The scheduler exposes a single advisor hook, so a multi-call cell
+    composes its per-call :class:`AppAwareAdvisor` instances here: each
+    slot's grants are the per-call grants concatenated in call order (the
+    scheduler's PRB budget arbitrates when a slot cannot fit everyone, so
+    earlier calls take priority within a slot), and proactive suppression
+    is routed to the advisor managing the asking UE.
+    """
+
+    def __init__(self, advisors: Sequence[AppAwareAdvisor]) -> None:
+        if not advisors:
+            raise ValueError("MultiCallAdvisor needs at least one advisor")
+        self.advisors: List[AppAwareAdvisor] = list(advisors)
+        self._by_ue: Dict[int, AppAwareAdvisor] = {}
+        for advisor in self.advisors:
+            if advisor.ue_id in self._by_ue:
+                raise ValueError(f"duplicate advisor for UE {advisor.ue_id}")
+            self._by_ue[advisor.ue_id] = advisor
+
+    # ------------------------------------------------------------------
+    # GrantAdvisor interface
+    # ------------------------------------------------------------------
+    def grants_for_slot(self, slot_us: TimeUs) -> List[PendingGrant]:
+        """Every call's grants for this slot, concatenated in call order."""
+        grants: List[PendingGrant] = []
+        for advisor in self.advisors:
+            grants.extend(advisor.grants_for_slot(slot_us))
+        return grants
+
+    def suppress_proactive(self, ue_id: int, slot_us: TimeUs) -> bool:
+        """Defer to the advisor managing ``ue_id`` (never suppress others)."""
+        advisor = self._by_ue.get(ue_id)
+        if advisor is None:
+            return False
+        return advisor.suppress_proactive(ue_id, slot_us)
+
+    @property
+    def grants_issued(self) -> int:
+        """Total §5.2 grants issued across every managed call."""
+        return sum(advisor.grants_issued for advisor in self.advisors)

@@ -2,6 +2,9 @@
 
 from __future__ import annotations
 
+from typing import Optional
+
+from ..trace.ids import IdSpace
 from ..trace.schema import MediaKind, PacketRecord, RtpInfo, new_packet_id
 
 # Header overheads in bytes.
@@ -20,6 +23,11 @@ RTP_VIDEO_CLOCK_HZ = 90_000
 RTP_AUDIO_CLOCK_HZ = 48_000
 
 
+def _next_packet_id(ids: Optional[IdSpace]) -> int:
+    """Allocate from a call-scoped id space, or the session's current one."""
+    return ids.next_packet_id() if ids is not None else new_packet_id()
+
+
 def make_rtp_packet(
     flow_id: str,
     kind: MediaKind,
@@ -31,12 +39,13 @@ def make_rtp_packet(
     layer_id: int,
     marker: bool,
     frame_start: bool = False,
+    ids: Optional[IdSpace] = None,
 ) -> PacketRecord:
     """Build one RTP-over-UDP datagram record."""
     if payload_bytes <= 0:
         raise ValueError(f"payload must be positive: {payload_bytes}")
     return PacketRecord(
-        packet_id=new_packet_id(),
+        packet_id=_next_packet_id(ids),
         flow_id=flow_id,
         kind=kind,
         size_bytes=payload_bytes + RTP_OVERHEAD,
@@ -52,10 +61,10 @@ def make_rtp_packet(
     )
 
 
-def make_probe_packet(seq: int) -> PacketRecord:
+def make_probe_packet(seq: int, ids: Optional[IdSpace] = None) -> PacketRecord:
     """Build one ICMP echo request record."""
     return PacketRecord(
-        packet_id=new_packet_id(),
+        packet_id=_next_packet_id(ids),
         flow_id="icmp",
         kind=MediaKind.PROBE,
         size_bytes=ICMP_PACKET_BYTES,
@@ -63,10 +72,12 @@ def make_probe_packet(seq: int) -> PacketRecord:
     )
 
 
-def make_feedback_packet(payload_bytes: int = 80) -> PacketRecord:
+def make_feedback_packet(
+    payload_bytes: int = 80, ids: Optional[IdSpace] = None
+) -> PacketRecord:
     """Build one RTCP feedback datagram record."""
     return PacketRecord(
-        packet_id=new_packet_id(),
+        packet_id=_next_packet_id(ids),
         flow_id="rtcp",
         kind=MediaKind.FEEDBACK,
         size_bytes=payload_bytes + IPV4_HEADER + UDP_HEADER,

@@ -15,7 +15,7 @@ An ICMP prober pings the SFU from the core every 20 ms to isolate the WAN
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Optional, Protocol
+from typing import Callable, Dict, Optional, Protocol
 
 import numpy as np
 
@@ -24,6 +24,7 @@ from ..phy.ran import RanSimulator
 from ..sim.engine import Simulator
 from ..sim.units import TimeUs, ms
 from ..trace.bus import InMemorySink, TraceSink
+from ..trace.ids import IdSpace
 from ..trace.schema import CapturePoint, MediaKind, PacketRecord, ProbeRecord, Trace
 from .links import Arrival, DelayLink, EmulatedLink, ProcessingNode
 from .packet import make_probe_packet
@@ -85,7 +86,15 @@ class PathConfig:
 
 
 class CallTopology:
-    """One monitored media direction plus its feedback channel and prober."""
+    """One call's media direction plus its feedback channel and prober.
+
+    In a multi-call cell each call owns one topology; ``call_id`` tags every
+    record the topology emits (packets at the sender tap, probes, sync
+    exchanges) so the trace bus can scope per-call views, ``ids`` draws the
+    topology's own packets (probes) from the call's id space, and ``sfu``
+    lets N calls share one :class:`SfuFanout` processing node instead of
+    each building a private one.
+    """
 
     def __init__(
         self,
@@ -98,6 +107,9 @@ class CallTopology:
         feedback_ue_id: Optional[int] = None,
         record_packets: bool = True,
         sink: Optional[TraceSink] = None,
+        call_id: Optional[int] = None,
+        ids: Optional[IdSpace] = None,
+        sfu: Optional[ProcessingNode] = None,
     ) -> None:
         self.sim = sim
         self.uplink = uplink
@@ -108,7 +120,10 @@ class CallTopology:
         # Legacy accessor: the collected Trace when the sink keeps one.
         self.trace = sink.result_trace() or (trace if trace is not None else Trace())
         self.record_packets = record_packets
+        self.call_id = call_id
+        self.ids = ids
         self._probe_count = 0
+        self.media_packets_sent = 0
         self._ran_for_feedback = ran_for_feedback
         self._feedback_ue_id = feedback_ue_id
 
@@ -125,7 +140,7 @@ class CallTopology:
         self._wan_down = DelayLink(
             sim, cfg.wan_sfu_to_receiver_us, cfg.wan_jitter_std_us, rng=rng
         )
-        self._sfu = ProcessingNode(
+        self._sfu = sfu if sfu is not None else ProcessingNode(
             sim,
             rng,
             base_us=cfg.sfu_base_us,
@@ -156,6 +171,9 @@ class CallTopology:
     # ------------------------------------------------------------------
     def send_media(self, packet: PacketRecord) -> None:
         """Inject a media packet at the sender (tap 1)."""
+        if self.call_id is not None:
+            packet.call_id = self.call_id
+        self.media_packets_sent += 1
         self._stamp(packet, CapturePoint.SENDER)
         if self.record_packets and packet.kind in (MediaKind.VIDEO, MediaKind.AUDIO):
             # Packets keep mutating (capture stamps, RAN telemetry) until the
@@ -219,11 +237,12 @@ class CallTopology:
         self.sim.every(self.config.icmp_interval_us, self._send_probe)
 
     def _send_probe(self) -> None:
-        packet = make_probe_packet(seq=self._probe_count)
+        packet = make_probe_packet(seq=self._probe_count, ids=self.ids)
         self._probe_count += 1
         record = ProbeRecord(
             probe_id=packet.packet_id,
             sent_us=self.clocks[CapturePoint.CORE].timestamp(self.sim.now),
+            call_id=self.call_id,
         )
         self.sink.emit("probe", record, final=False)
 
@@ -294,9 +313,66 @@ class CallTopology:
                 t2=core_clock.timestamp(t_send + out),
                 t3=core_clock.timestamp(t_send + out + proc),
                 t4=host_clock.timestamp(t_send + out + proc + back),
+                call_id=self.call_id,
             )
         )
 
     # ------------------------------------------------------------------
     def _stamp(self, packet: PacketRecord, point: CapturePoint) -> None:
         packet.set_capture(point, self.clocks[point].timestamp(self.sim.now))
+
+
+class SfuFanout:
+    """One SFU host serving N concurrent calls of the cell.
+
+    The fan-out owns the shared application-layer :class:`ProcessingNode`
+    (one queueing/tail-latency budget for the whole conference server, fed
+    by its own RNG stream) and registers each call's :class:`CallTopology`
+    against it, so contention at the SFU is modeled across calls while WAN
+    propagation stays per call.  Single-call sessions skip the fan-out and
+    keep their private node — construction and RNG draws are unchanged.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        rng: np.random.Generator,
+        config: Optional[PathConfig] = None,
+    ) -> None:
+        self.sim = sim
+        cfg = config or PathConfig()
+        self.config = cfg
+        self.sfu = ProcessingNode(
+            sim,
+            rng,
+            base_us=cfg.sfu_base_us,
+            jitter_std_us=cfg.sfu_jitter_std_us,
+            tail_prob=cfg.sfu_tail_prob,
+            tail_mean_us=cfg.sfu_tail_mean_us,
+        )
+        # Registry keyed by call id — the fan-out's whole point is that no
+        # lookup ever assumes "the one call".
+        self._topologies: Dict[int, CallTopology] = {}
+
+    def attach(self, topology: CallTopology) -> CallTopology:
+        """Register one call's topology with the shared SFU."""
+        call_id = topology.call_id
+        if call_id is None:
+            raise ValueError("fan-out topologies must carry a call_id")
+        if call_id in self._topologies:
+            raise ValueError(f"call {call_id} already attached to the SFU")
+        self._topologies[call_id] = topology
+        return topology
+
+    def topology_for(self, call_id: int) -> CallTopology:
+        """Look up the topology serving one call."""
+        return self._topologies[call_id]
+
+    @property
+    def call_count(self) -> int:
+        """Calls currently fanned out by this SFU."""
+        return len(self._topologies)
+
+    def media_packets_sent(self) -> int:
+        """Media packets injected across every attached call."""
+        return sum(t.media_packets_sent for t in self._topologies.values())

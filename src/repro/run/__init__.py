@@ -9,6 +9,7 @@ contract in :mod:`repro.run.scenario` and multi-process sweep execution in
 from .batch import (
     BatchRun,
     RunSpec,
+    collect_call_summaries,
     collect_qoe,
     collect_summary,
     collect_trace,
@@ -17,26 +18,37 @@ from .batch import (
 )
 from .builder import (
     DEFAULT_PIPELINE,
+    CallContext,
     SessionBuilder,
     SessionContext,
+    make_channel,
     make_estimator,
     register_access,
+    register_analysis,
+    register_channel,
     register_estimator,
     register_stage,
     run_session,
 )
 from .scenario import (
     KNOWN_ACCESS,
+    KNOWN_CHANNELS,
     KNOWN_ESTIMATORS,
     MONITORED_UE_ID,
+    CallResult,
+    CallSpec,
     ScenarioConfig,
     SessionResult,
 )
 
 __all__ = [
     "BatchRun",
+    "CallContext",
+    "CallResult",
+    "CallSpec",
     "DEFAULT_PIPELINE",
     "KNOWN_ACCESS",
+    "KNOWN_CHANNELS",
     "KNOWN_ESTIMATORS",
     "MONITORED_UE_ID",
     "RunSpec",
@@ -44,11 +56,15 @@ __all__ = [
     "SessionBuilder",
     "SessionContext",
     "SessionResult",
+    "collect_call_summaries",
     "collect_qoe",
     "collect_summary",
     "collect_trace",
+    "make_channel",
     "make_estimator",
     "register_access",
+    "register_analysis",
+    "register_channel",
     "register_estimator",
     "register_stage",
     "run_batch",

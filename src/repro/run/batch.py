@@ -78,6 +78,32 @@ def collect_summary(result: SessionResult) -> Dict[str, float]:
     }
 
 
+def collect_call_summaries(result: SessionResult) -> List[Dict[str, float]]:
+    """Reduce a run to one statistics row per call (multi-call cells).
+
+    Single-call sessions produce a one-element list, so the collector is
+    uniform across both shapes of :class:`~repro.run.scenario.SessionResult`.
+    """
+    rows: List[Dict[str, float]] = []
+    for call in result.calls:
+        qoe = call.qoe()
+        medians = qoe.medians()
+        rows.append(
+            {
+                "call_id": float(call.call_id),
+                "ue_id": float(call.ue_id),
+                "packets": float(len(call.trace.packets)),
+                "frames": float(len(call.trace.frames)),
+                "bitrate_kbps": medians["bitrate_kbps"],
+                "fps": medians["fps"],
+                "ssim": medians["ssim"],
+                "stalls": float(qoe.stall_count),
+                "mean_frame_delay_ms": qoe.mean_frame_delay_ms,
+            }
+        )
+    return rows
+
+
 # ----------------------------------------------------------------------
 # Execution
 # ----------------------------------------------------------------------

@@ -11,19 +11,34 @@ into small named *stages* run in a fixed pipeline order::
     endpoints   — the VCA sender and receiver
     mitigations — the §5.2 application-aware scheduling hooks
 
-Each stage reads and extends a :class:`SessionContext`.  Four registries
+Each stage reads and extends a :class:`SessionContext`.  Five registries
 make the assembly extensible without editing this module:
 
 * :func:`register_stage` — replace or add a pipeline stage;
 * :func:`register_access` — add an access-network kind (extends
   :data:`~repro.run.scenario.KNOWN_ACCESS` so configs validate);
+* :func:`register_channel` — add a radio-channel kind (extends
+  :data:`~repro.run.scenario.KNOWN_CHANNELS`);
 * :func:`register_estimator` — add a bandwidth-estimator kind;
 * :func:`register_analysis` — add a streaming operator to the live
   analysis tap (``config.live_analysis``).
 
-The stage bodies are verbatim extractions from the old monolith, and the
-pipeline preserves its event-registration order, so for a fixed seed a
-built session produces a byte-identical trace to the pre-refactor code.
+**Multi-call cells.**  A :class:`~repro.run.scenario.ScenarioConfig` with a
+``calls`` list hosts N concurrent conferences in one cell: every stage
+loops over ``ctx.calls``, giving each call its own endpoint stack (sender,
+receiver, estimator, adaptation, jitter buffer), its own
+:class:`~repro.trace.ids.IdSpace` and named RNG streams
+(``call<k>.media``, ``call<k>.path``, …), its own topology attached to a
+shared :class:`~repro.net.topology.SfuFanout`, and per-call §5.2/§5.3
+mitigation wiring (composed through
+:class:`~repro.mitigation.aware_ran.MultiCallAdvisor` when several calls
+are app-aware).  The TDD/grant/HARQ fabric — one
+:class:`~repro.phy.ran.RanSimulator` — is shared; contention happens in
+the scheduler.  With ``calls=None`` (the default) the historical
+single-call session is assembled through the *same* loops over a
+one-element call list, executing the identical sequence of RNG draws, id
+allocations, and event registrations, so for a fixed seed the trace stays
+byte-identical to the pre-multicall code.
 
 Every run executes inside its own :class:`~repro.trace.ids.IdSpace`, so
 packet/TB/grant/frame ids restart at 1 per session no matter how many runs
@@ -34,7 +49,7 @@ executor (:mod:`repro.run.batch`).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, Optional
+from typing import Callable, Dict, Iterable, List, Optional
 
 from ..app.adaptation import ZoomAdaptationPolicy
 from ..app.receiver import VcaReceiver
@@ -48,12 +63,13 @@ from ..core.streaming.operators import (
     RootCauseOperator,
     TbPacketCorrelator,
 )
+from ..core.streaming.scoped import CallScopedOperator
 from ..core.streaming.tap import AnalysisTap
 from ..media.svc import CAPTURE_SLOT_US
-from ..mitigation.aware_ran import AppAwareAdvisor, MediaSchedule
+from ..mitigation.aware_ran import AppAwareAdvisor, MediaSchedule, MultiCallAdvisor
 from ..mitigation.ml_predictor import PeriodicityPredictor
 from ..net.links import EmulatedLink
-from ..net.topology import CallTopology, EmulatedUplink, RanUplink
+from ..net.topology import CallTopology, EmulatedUplink, RanUplink, SfuFanout
 from ..phy.channel import FixedChannel, GaussMarkovChannel, PhasedChannel
 from ..phy.crosstraffic import attach_cross_traffic
 from ..phy.ran import RanSimulator, nominal_ul_capacity_kbps
@@ -65,8 +81,10 @@ from ..trace.ids import IdSpace, use_id_space
 from ..trace.schema import Trace
 from .scenario import (
     KNOWN_ACCESS,
+    KNOWN_CHANNELS,
     KNOWN_ESTIMATORS,
-    MONITORED_UE_ID,
+    CallResult,
+    CallSpec,
     ScenarioConfig,
     SessionResult,
 )
@@ -82,13 +100,43 @@ DEFAULT_PIPELINE = ("analysis", "access", "path", "endpoints", "mitigations")
 
 
 @dataclass
+class CallContext:
+    """Per-call state assembled by the pipeline stages.
+
+    ``ids`` is the call's identifier space: a fresh
+    :class:`~repro.trace.ids.IdSpace` per call in a multi-call cell, the
+    builder's session-wide space for the historical single-call session
+    (where components keep drawing from the ambient space exactly as
+    before).
+    """
+
+    spec: CallSpec
+    ue_id: int
+    ids: IdSpace
+    uplink: Optional[object] = None
+    topology: Optional[CallTopology] = None
+    sender: Optional[VcaSender] = None
+    receiver: Optional[VcaReceiver] = None
+    advisor: Optional[AppAwareAdvisor] = None
+    predictor: Optional[PeriodicityPredictor] = None
+    diagnosis: Optional[LiveDiagnosis] = None
+
+
+@dataclass
 class SessionContext:
-    """Mutable state threaded through the pipeline stages."""
+    """Mutable state threaded through the pipeline stages.
+
+    ``calls`` always holds one :class:`CallContext` per call — a single
+    element for the historical single-call session.  The flat
+    ``uplink``/``topology``/``sender``/… fields mirror call 0 so custom
+    stages written against the single-call context keep working.
+    """
 
     config: ScenarioConfig
     sim: Simulator
     rngs: RngStreams
     sink: TraceSink
+    calls: List[CallContext] = field(default_factory=list)
     ran: Optional[RanSimulator] = None
     uplink: Optional[object] = None
     topology: Optional[CallTopology] = None
@@ -96,22 +144,43 @@ class SessionContext:
     receiver: Optional[VcaReceiver] = None
     advisor: Optional[AppAwareAdvisor] = None
     predictor: Optional[PeriodicityPredictor] = None
+    #: Shared SFU node fan-out; only set for multi-call cells.
+    fanout: Optional[SfuFanout] = None
     #: Set by the ``analysis`` stage when ``config.live_analysis`` is on.
     analysis_tap: Optional[AnalysisTap] = None
     diagnosis: Optional[LiveDiagnosis] = None
     #: Scratch space for custom stages (never read by the built-ins).
     extras: Dict[str, object] = field(default_factory=dict)
 
+    @property
+    def multicall(self) -> bool:
+        """True when the config declares an explicit ``calls`` axis."""
+        return self.config.multicall
+
+    def stream_for(self, call: CallContext, base: str):
+        """The call-scoped RNG stream named ``base``.
+
+        Multi-call cells prefix stream names with the call identity
+        (``call<k>.media``) so a call's draws never depend on which peers
+        share the cell; the single-call session keeps the historical bare
+        names (``media``) so its draw sequence is unchanged.
+        """
+        if not self.multicall:
+            return self.rngs.stream(base)
+        return self.rngs.stream(f"call{call.spec.call_id}.{base}")
+
 
 StageFn = Callable[[SessionContext], None]
 AccessFactory = Callable[[SessionContext], None]
+ChannelFactory = Callable[[SessionContext, CallContext], object]
 EstimatorFactory = Callable[[], object]
 #: Returns a StreamOperator for the live tap, or None to opt out for this
 #: config (e.g. the TB correlator when TB telemetry is off).
-AnalysisFactory = Callable[[SessionContext], Optional[object]]
+AnalysisFactory = Callable[[SessionContext, CallContext], Optional[object]]
 
 STAGES: Dict[str, StageFn] = {}
 ACCESS_FACTORIES: Dict[str, AccessFactory] = {}
+CHANNEL_FACTORIES: Dict[str, ChannelFactory] = {}
 ESTIMATOR_FACTORIES: Dict[str, EstimatorFactory] = {}
 ANALYSIS_FACTORIES: Dict[str, AnalysisFactory] = {}
 
@@ -137,6 +206,22 @@ def register_access(name: str) -> Callable[[AccessFactory], AccessFactory]:
     return deco
 
 
+def register_channel(name: str) -> Callable[[ChannelFactory], ChannelFactory]:
+    """Register a radio-channel factory; configs may then use the kind.
+
+    The factory receives the session context and the call being attached,
+    so per-call channels can draw from call-scoped RNG streams (the
+    built-in Gauss-Markov channel uses ``channel.ue<ue_id>``).
+    """
+
+    def deco(fn: ChannelFactory) -> ChannelFactory:
+        CHANNEL_FACTORIES[name] = fn
+        KNOWN_CHANNELS.add(name)
+        return fn
+
+    return deco
+
+
 def register_estimator(
     name: str,
 ) -> Callable[[EstimatorFactory], EstimatorFactory]:
@@ -156,10 +241,13 @@ def register_analysis(
     """Register a streaming-operator factory for the live analysis tap.
 
     When ``config.live_analysis`` is on, the ``analysis`` stage calls every
-    registered factory with the :class:`SessionContext` (``ctx.diagnosis``
-    is already set) and attaches the returned operators to an
-    :class:`~repro.core.streaming.tap.AnalysisTap` wrapping the session
-    sink.  A factory may return ``None`` to opt out for this config.
+    registered factory once per call with ``(ctx, call)`` —
+    ``call.diagnosis`` is already set — and attaches the returned operators
+    to an :class:`~repro.core.streaming.tap.AnalysisTap` wrapping the
+    session sink.  In a multi-call cell each operator is wrapped in a
+    :class:`~repro.core.streaming.scoped.CallScopedOperator` so it sees
+    only its call's slice of the merged stream.  A factory may return
+    ``None`` to opt out for this config.
     """
 
     def deco(fn: AnalysisFactory) -> AnalysisFactory:
@@ -184,6 +272,35 @@ register_estimator("scream")(ScreamEstimator)
 
 
 # ----------------------------------------------------------------------
+# Radio-channel factories
+# ----------------------------------------------------------------------
+@register_channel("fixed")
+def _channel_fixed(ctx: SessionContext, call: CallContext) -> object:
+    return FixedChannel(ctx.config.ran.default_mcs, ctx.config.ran.base_bler)
+
+
+@register_channel("gauss_markov")
+def _channel_gauss_markov(ctx: SessionContext, call: CallContext) -> object:
+    return GaussMarkovChannel(
+        ctx.rngs.stream(f"channel.ue{call.ue_id}"),
+        target_bler=ctx.config.ran.base_bler,
+    )
+
+
+def make_channel(ctx: SessionContext, call: CallContext) -> object:
+    """Build one call's radio channel from its (inherited) spec."""
+    phases = call.spec.inherit(ctx.config, "channel_phases")
+    if phases is not None:
+        return PhasedChannel(phases)
+    kind = call.spec.inherit(ctx.config, "channel")
+    try:
+        factory = CHANNEL_FACTORIES[kind]
+    except KeyError:
+        raise ValueError(f"unknown channel kind: {kind}") from None
+    return factory(ctx, call)
+
+
+# ----------------------------------------------------------------------
 # Access-network factories
 # ----------------------------------------------------------------------
 @register_access("5g")
@@ -197,21 +314,27 @@ def _access_5g(ctx: SessionContext) -> None:
         record_grants=config.record_grants,
         sink=ctx.sink,
     )
-    if config.channel_phases is not None:
-        channel = PhasedChannel(config.channel_phases)
-    elif config.channel == "gauss_markov":
-        channel = GaussMarkovChannel(
-            ctx.rngs.stream("channel.ue1"), target_bler=config.ran.base_bler
+    for call in ctx.calls:
+        channel = make_channel(ctx, call)
+        ran.add_ue(
+            call.ue_id,
+            channel=channel,
+            # spec.proactive=False opts the UE out; True defers to the
+            # RanConfig default, matching the historical add_ue call.
+            proactive=None if call.spec.proactive else False,
+            record_tbs=call.spec.inherit(config, "record_tbs"),
         )
-    else:
-        channel = FixedChannel(config.ran.default_mcs, config.ran.base_bler)
-    ran.add_ue(MONITORED_UE_ID, channel=channel, record_tbs=config.record_tbs)
+        call.uplink = RanUplink(ran, call.ue_id)
     if config.cross_traffic is not None:
         attach_cross_traffic(
-            ctx.sim, ran, config.cross_traffic, ctx.rngs.stream("cross")
+            ctx.sim,
+            ran,
+            config.cross_traffic,
+            ctx.rngs.stream("cross"),
+            first_ue_id=config.cross_traffic_first_ue_id(),
         )
     ctx.ran = ran
-    ctx.uplink = RanUplink(ran, MONITORED_UE_ID)
+    ctx.uplink = ctx.calls[0].uplink
 
 
 @register_access("emulated")
@@ -222,43 +345,52 @@ def _access_emulated(ctx: SessionContext) -> None:
         # The paper sizes the tc baseline from the cell's TB capacity;
         # derived from the RanConfig alone, no throwaway simulator.
         rate_kbps = nominal_ul_capacity_kbps(config.ran)
-    ctx.uplink = EmulatedUplink(
-        EmulatedLink(
-            ctx.sim,
-            rate_kbps=rate_kbps,
-            latency_us=config.emulated_latency_us,
-            capacity_series=config.emulated_capacity_series,
-        )
+    # One shaper models the cell: N calls contend for the same token
+    # bucket, mirroring how the RAN path shares one scheduler.
+    link = EmulatedLink(
+        ctx.sim,
+        rate_kbps=rate_kbps,
+        latency_us=config.emulated_latency_us,
+        capacity_series=config.emulated_capacity_series,
     )
+    for call in ctx.calls:
+        call.uplink = EmulatedUplink(link)
+    ctx.uplink = ctx.calls[0].uplink
 
 
 # ----------------------------------------------------------------------
 # Built-in live-analysis operators
 # ----------------------------------------------------------------------
 @register_analysis("root_causes")
-def _analysis_root_causes(ctx: SessionContext) -> Optional[object]:
-    assert ctx.diagnosis is not None
+def _analysis_root_causes(
+    ctx: SessionContext, call: CallContext
+) -> Optional[object]:
+    assert call.diagnosis is not None
     return RootCauseOperator(
         retain_results=False,
-        on_breakdown=ctx.diagnosis.on_breakdown,
-        on_diagnosis=ctx.diagnosis.on_diagnosis,
+        on_breakdown=call.diagnosis.on_breakdown,
+        on_diagnosis=call.diagnosis.on_diagnosis,
     )
 
 
 @register_analysis("clusters")
-def _analysis_clusters(ctx: SessionContext) -> Optional[object]:
-    assert ctx.diagnosis is not None
+def _analysis_clusters(
+    ctx: SessionContext, call: CallContext
+) -> Optional[object]:
+    assert call.diagnosis is not None
     return FrameClusterOperator(
-        retain_results=False, on_cluster=ctx.diagnosis.on_cluster
+        retain_results=False, on_cluster=call.diagnosis.on_cluster
     )
 
 
 @register_analysis("correlation")
-def _analysis_correlation(ctx: SessionContext) -> Optional[object]:
+def _analysis_correlation(
+    ctx: SessionContext, call: CallContext
+) -> Optional[object]:
     config = ctx.config
-    if config.access != "5g" or not config.record_tbs:
+    if config.access != "5g" or not call.spec.inherit(config, "record_tbs"):
         return None  # no TB telemetry to correlate against
-    return TbPacketCorrelator(MONITORED_UE_ID, retain_results=False)
+    return TbPacketCorrelator(call.ue_id, retain_results=False)
 
 
 # ----------------------------------------------------------------------
@@ -268,12 +400,17 @@ def _analysis_correlation(ctx: SessionContext) -> Optional[object]:
 def _stage_analysis(ctx: SessionContext) -> None:
     if not ctx.config.live_analysis:
         return
-    ctx.diagnosis = LiveDiagnosis()
     operators = []
-    for factory in ANALYSIS_FACTORIES.values():
-        op = factory(ctx)
-        if op is not None:
+    for call in ctx.calls:
+        call.diagnosis = LiveDiagnosis()
+        for factory in ANALYSIS_FACTORIES.values():
+            op = factory(ctx, call)
+            if op is None:
+                continue
+            if ctx.multicall:
+                op = CallScopedOperator(op, call.spec.call_id, call.ue_id)
             operators.append(op)
+    ctx.diagnosis = ctx.calls[0].diagnosis
     tap = AnalysisTap(operators, inner=ctx.sink)
     ctx.analysis_tap = tap
     # Later stages (RAN, topology, endpoints) capture ctx.sink at build
@@ -292,99 +429,153 @@ def _stage_access(ctx: SessionContext) -> None:
 
 @register_stage("path")
 def _stage_path(ctx: SessionContext) -> None:
-    assert ctx.uplink is not None, "access stage must run before path"
-    ctx.topology = CallTopology(
-        ctx.sim,
-        ctx.uplink,
-        rng=ctx.rngs.stream("path"),
-        config=ctx.config.path,
-        ran_for_feedback=ctx.ran,
-        feedback_ue_id=MONITORED_UE_ID if ctx.ran is not None else None,
-        sink=ctx.sink,
-    )
+    config = ctx.config
+    if ctx.multicall:
+        ctx.fanout = SfuFanout(ctx.sim, ctx.rngs.stream("sfu"), config.path)
+    for call in ctx.calls:
+        assert call.uplink is not None, "access stage must run before path"
+        topology = CallTopology(
+            ctx.sim,
+            call.uplink,
+            rng=ctx.stream_for(call, "path"),
+            config=config.path,
+            ran_for_feedback=ctx.ran,
+            feedback_ue_id=call.ue_id if ctx.ran is not None else None,
+            sink=ctx.sink,
+            call_id=call.spec.call_id if ctx.multicall else None,
+            ids=call.ids if ctx.multicall else None,
+            sfu=ctx.fanout.sfu if ctx.fanout is not None else None,
+        )
+        if ctx.fanout is not None:
+            ctx.fanout.attach(topology)
+        call.topology = topology
+    ctx.topology = ctx.calls[0].topology
 
 
 @register_stage("endpoints")
 def _stage_endpoints(ctx: SessionContext) -> None:
-    assert ctx.topology is not None, "path stage must run before endpoints"
     config = ctx.config
-    ctx.sender = VcaSender(
-        ctx.sim,
-        ctx.topology,
-        ctx.rngs.stream("media"),
-        policy=ZoomAdaptationPolicy(config.adaptation),
-        fixed_mode=config.fixed_mode,
-        fixed_bitrate_kbps=config.fixed_bitrate_kbps,
-    )
-    ctx.receiver = VcaReceiver(
-        ctx.sim,
-        ctx.topology,
-        ctx.sender.frames_by_id,
-        estimator=make_estimator(config.estimator),
-        mask_ran_delay=config.mask_ran_delay,
-        jitter_buffer_margin_us=ms(config.jitter_buffer_margin_ms),
-        jitter_buffer_beta=config.jitter_buffer_beta,
-        diagnosis=ctx.diagnosis,
-    )
+    for call in ctx.calls:
+        spec = call.spec
+        assert call.topology is not None, "path stage must run before endpoints"
+        sender = VcaSender(
+            ctx.sim,
+            call.topology,
+            ctx.stream_for(call, "media"),
+            policy=ZoomAdaptationPolicy(spec.inherit(config, "adaptation")),
+            fixed_mode=spec.inherit(config, "fixed_mode"),
+            fixed_bitrate_kbps=spec.inherit(config, "fixed_bitrate_kbps"),
+            call_id=spec.call_id if ctx.multicall else None,
+            ids=call.ids if ctx.multicall else None,
+        )
+        receiver = VcaReceiver(
+            ctx.sim,
+            call.topology,
+            sender.frames_by_id,
+            estimator=make_estimator(spec.inherit(config, "estimator")),
+            mask_ran_delay=spec.inherit(config, "mask_ran_delay"),
+            jitter_buffer_margin_us=ms(
+                spec.inherit(config, "jitter_buffer_margin_ms")
+            ),
+            jitter_buffer_beta=spec.inherit(config, "jitter_buffer_beta"),
+            diagnosis=call.diagnosis,
+            ids=call.ids if ctx.multicall else None,
+        )
+        call.sender = sender
+        call.receiver = receiver
+    ctx.sender = ctx.calls[0].sender
+    ctx.receiver = ctx.calls[0].receiver
+
+
+def _register_metadata_refresh(
+    sim: Simulator, sender: VcaSender, schedule: MediaSchedule
+) -> None:
+    """§5.2 metadata path: the app announces its frame clock and keeps the
+    size estimate fresh (the periodically-updated RTP extension)."""
+    from ..media.svc import frame_period_us, nominal_fps
+
+    def refresh_from_app() -> None:
+        schedule.frame_period_us = frame_period_us(sender.mode)
+        schedule.frame_size_bytes = int(
+            sender.encoder.target_bitrate_kbps
+            * 1_000 / 8 / nominal_fps(sender.mode)
+        )
+        schedule.advance_to(sim.now)
+
+    sim.every(ms(100.0), refresh_from_app)
 
 
 @register_stage("mitigations")
 def _stage_mitigations(ctx: SessionContext) -> None:
     config = ctx.config
-    ran, sender, sim = ctx.ran, ctx.sender, ctx.sim
-    if not (config.aware_ran or config.aware_ran_learned) or ran is None:
+    ran, sim = ctx.ran, ctx.sim
+    if ran is None:
         return
-    assert sender is not None, "endpoints stage must run before mitigations"
-    schedule = MediaSchedule(
-        next_frame_us=0,
-        frame_period_us=CAPTURE_SLOT_US,
-        frame_size_bytes=int(
-            sender.encoder.target_bitrate_kbps * 1_000 / 8 / 28.0
-        ),
-    )
-    advisor = AppAwareAdvisor(
-        config.ran,
-        ran.tdd,
-        MONITORED_UE_ID,
-        schedule,
-        suppress_proactive_grants=config.aware_ran_suppress_proactive,
-    )
-    ran.set_grant_advisor(advisor)
-    ctx.advisor = advisor
-    if config.aware_ran_learned:
-        predictor = PeriodicityPredictor()
-        ctx.predictor = predictor
-        if ctx.diagnosis is not None:
-            # Train on the streaming clusterer's closed-burst feed: bursts
-            # are pre-separated from audio, so no per-packet thresholding.
-            ctx.diagnosis.add_burst_listener(predictor.observe_burst)
-        else:
-            assert ctx.topology is not None
-            ctx.topology.media_send_listeners.append(
-                lambda packet, t: predictor.observe(t, packet.size_bytes)
-            )
-        sim.every(ms(500.0), lambda: predictor.refresh_schedule(schedule, sim.now))
+    # Pass 1: one MediaSchedule + AppAwareAdvisor per app-aware call, then
+    # install the (possibly composite) advisor — before the refresh timers,
+    # preserving the historical event-registration order for one call.
+    aware: List[tuple] = []
+    for call in ctx.calls:
+        spec = call.spec
+        learned = spec.inherit(config, "aware_ran_learned")
+        if not (spec.inherit(config, "aware_ran") or learned):
+            continue
+        sender = call.sender
+        assert sender is not None, "endpoints stage must run before mitigations"
+        schedule = MediaSchedule(
+            next_frame_us=0,
+            frame_period_us=CAPTURE_SLOT_US,
+            frame_size_bytes=int(
+                sender.encoder.target_bitrate_kbps * 1_000 / 8 / 28.0
+            ),
+        )
+        call.advisor = AppAwareAdvisor(
+            config.ran,
+            ran.tdd,
+            call.ue_id,
+            schedule,
+            suppress_proactive_grants=config.aware_ran_suppress_proactive,
+        )
+        aware.append((call, schedule, learned))
+    if not aware:
+        return
+    if len(aware) == 1:
+        ran.set_grant_advisor(aware[0][0].advisor)
     else:
-        # Metadata path: the app announces its frame clock and keeps the
-        # size estimate fresh (the periodically-updated RTP extension).
-        from ..media.svc import frame_period_us, nominal_fps
-
-        def refresh_from_app() -> None:
-            schedule.frame_period_us = frame_period_us(sender.mode)
-            schedule.frame_size_bytes = int(
-                sender.encoder.target_bitrate_kbps
-                * 1_000 / 8 / nominal_fps(sender.mode)
+        ran.set_grant_advisor(
+            MultiCallAdvisor([call.advisor for call, _, _ in aware])
+        )
+    # Pass 2: per-call schedule-refresh wiring (learned or metadata path).
+    for call, schedule, learned in aware:
+        if learned:
+            predictor = PeriodicityPredictor()
+            call.predictor = predictor
+            if call.diagnosis is not None:
+                # Train on the streaming clusterer's closed-burst feed:
+                # bursts are pre-separated from audio, so no per-packet
+                # thresholding.
+                call.diagnosis.add_burst_listener(predictor.observe_burst)
+            else:
+                assert call.topology is not None
+                call.topology.media_send_listeners.append(
+                    lambda packet, t, p=predictor: p.observe(t, packet.size_bytes)
+                )
+            sim.every(
+                ms(500.0),
+                lambda p=predictor, s=schedule: p.refresh_schedule(s, sim.now),
             )
-            schedule.advance_to(sim.now)
-
-        sim.every(ms(100.0), refresh_from_app)
+        else:
+            assert call.sender is not None
+            _register_metadata_refresh(sim, call.sender, schedule)
+    ctx.advisor = ctx.calls[0].advisor
+    ctx.predictor = ctx.calls[0].predictor
 
 
 # ----------------------------------------------------------------------
 # The builder
 # ----------------------------------------------------------------------
 class SessionBuilder:
-    """Assemble and run one call session from pluggable stages.
+    """Assemble and run one cell session (one or many calls) from stages.
 
     ``SessionBuilder(config).run()`` is exactly the old ``run_session``.
     Pass ``sink`` to redirect telemetry (e.g. a
@@ -404,7 +595,9 @@ class SessionBuilder:
         unknown = [name for name in self.pipeline if name not in STAGES]
         if unknown:
             raise ValueError(f"unknown pipeline stages: {unknown}")
-        #: Per-session id allocation; fresh ids regardless of prior runs.
+        #: Session-wide id allocation (RAN TBs/grants, cross traffic);
+        #: fresh ids regardless of prior runs.  Multi-call cells give each
+        #: call an additional private IdSpace for its endpoint records.
         self.id_space = IdSpace()
 
     # ------------------------------------------------------------------
@@ -416,41 +609,61 @@ class SessionBuilder:
         does this for them.
         """
         config = self.config
-        self.sink.set_metadata(
-            {
-                "access": config.access,
-                "duration_s": config.duration_s,
-                "seed": config.seed,
-                "estimator": config.estimator,
-            }
-        )
+        metadata = {
+            "access": config.access,
+            "duration_s": config.duration_s,
+            "seed": config.seed,
+            "estimator": config.estimator,
+        }
+        if config.multicall:
+            metadata["n_calls"] = len(config.effective_calls())
+        self.sink.set_metadata(metadata)
         ctx = SessionContext(
             config=config,
             sim=Simulator(),
             rngs=RngStreams(config.seed),
             sink=self.sink,
         )
+        ctx.calls = [
+            CallContext(
+                spec=spec,
+                ue_id=spec.resolved_ue_id(),
+                ids=IdSpace() if config.multicall else self.id_space,
+            )
+            for spec in config.effective_calls()
+        ]
         for name in self.pipeline:
             STAGES[name](ctx)
         return ctx
 
     def start(self, ctx: SessionContext) -> None:
-        """Start the endpoint clocks, prober, and time sync."""
+        """Start every call's endpoint clocks, prober, and time sync.
+
+        Calls with ``start_media=False`` register nothing — a parked
+        zero-demand peer neither draws RNG values nor consumes grants, so
+        its presence leaves the other calls' traces untouched.
+        """
         config = self.config
-        assert ctx.sender is not None and ctx.receiver is not None
-        assert ctx.topology is not None
-        ctx.sender.start()
-        ctx.receiver.start()
-        if config.start_prober:
-            ctx.topology.start_prober()
+        for call in ctx.calls:
+            if not call.spec.start_media:
+                continue
+            assert call.sender is not None and call.receiver is not None
+            assert call.topology is not None
+            call.sender.start()
+            call.receiver.start()
+            if call.spec.inherit(config, "start_prober"):
+                call.topology.start_prober()
         if config.time_sync:
             self.sink.set_metadata(
                 {"clock_offsets_us": dict(config.path.clock_offsets_us)}
             )
-            ctx.topology.start_time_sync(ctx.rngs.stream("timesync"))
+            for call in ctx.calls:
+                if not call.spec.start_media or call.topology is None:
+                    continue
+                call.topology.start_time_sync(ctx.stream_for(call, "timesync"))
 
     def run(self) -> SessionResult:
-        """Build, run, and return one complete call session."""
+        """Build, run, and return one complete cell session."""
         with use_id_space(self.id_space):
             ctx = self.build()
             self.start(ctx)
@@ -459,24 +672,47 @@ class SessionBuilder:
         # drains the operators and then closes the wrapped sink.
         ctx.sink.close()
         trace = ctx.sink.result_trace()
-        assert ctx.sender is not None and ctx.receiver is not None
-        assert ctx.topology is not None
+        # Retention-free sinks (streaming, null) keep no Trace; hand back
+        # an empty one so result.trace stays usable.
+        session_trace = trace if trace is not None else Trace()
+        call_results: List[CallResult] = []
+        for call in ctx.calls:
+            call_trace = (
+                session_trace.for_call(call.spec.call_id, call.ue_id)
+                if ctx.multicall
+                else session_trace
+            )
+            call_results.append(
+                CallResult(
+                    spec=call.spec,
+                    ue_id=call.ue_id,
+                    trace=call_trace,
+                    sender=call.sender,
+                    receiver=call.receiver,
+                    topology=call.topology,
+                    advisor=call.advisor,
+                    predictor=call.predictor,
+                    diagnosis=call.diagnosis,
+                )
+            )
+        first = ctx.calls[0]
+        assert first.sender is not None and first.receiver is not None
+        assert first.topology is not None
         return SessionResult(
             config=self.config,
-            # Retention-free sinks (streaming, null) keep no Trace; hand
-            # back an empty one so result.trace stays usable.
-            trace=trace if trace is not None else Trace(),
+            trace=session_trace,
             sim=ctx.sim,
-            sender=ctx.sender,
-            receiver=ctx.receiver,
-            topology=ctx.topology,
+            sender=first.sender,
+            receiver=first.receiver,
+            topology=first.topology,
             ran=ctx.ran,
-            advisor=ctx.advisor,
-            predictor=ctx.predictor,
-            diagnosis=ctx.diagnosis,
+            advisor=first.advisor,
+            predictor=first.predictor,
+            diagnosis=first.diagnosis,
             analysis=dict(ctx.analysis_tap.results)
             if ctx.analysis_tap is not None
             else {},
+            calls=call_results,
         )
 
 

@@ -33,7 +33,7 @@ from collections import OrderedDict
 from pathlib import Path
 from typing import Dict, IO, Iterable, Optional, Set, Union
 
-from .schema import Trace
+from .schema import Trace, record_belongs_to_call
 
 #: Emission channels, in the order families appear in a saved trace.
 CHANNELS = ("packet", "tb", "grant", "frame", "probe", "sync")
@@ -113,21 +113,41 @@ class NullSink(TraceSink):
 
 
 class FilteredSink(TraceSink):
-    """Forward only the given channels to an inner sink.
+    """Forward only a subset of the record stream to an inner sink.
 
     ``FilteredSink(InMemorySink(), channels=("tb", "grant"))`` keeps the PHY
-    telemetry while suppressing the (much larger) packet family.
+    telemetry while suppressing the (much larger) packet family.  Passing
+    ``call_id`` (and the call's ``ue_id`` for the cell-shared PHY families)
+    scopes the view to one conference call of a multi-call cell — the
+    per-call sink views the session builder exposes, mirroring
+    :meth:`repro.trace.schema.Trace.for_call`.
     """
 
-    def __init__(self, inner: TraceSink, channels: Iterable[str]) -> None:
+    def __init__(
+        self,
+        inner: TraceSink,
+        channels: Iterable[str] = CHANNELS,
+        *,
+        call_id: Optional[int] = None,
+        ue_id: Optional[int] = None,
+    ) -> None:
         unknown = set(channels) - set(CHANNELS)
         if unknown:
             raise ValueError(f"unknown channels: {sorted(unknown)}")
         self.inner = inner
         self.channels: Set[str] = set(channels)
+        self.call_id = call_id
+        self.ue_id = ue_id
+
+    def _accepts(self, channel: str, record: object) -> bool:
+        if channel not in self.channels:
+            return False
+        if self.call_id is None:
+            return True
+        return record_belongs_to_call(channel, record, self.call_id, self.ue_id)
 
     def emit(self, channel: str, record: object, *, final: bool = True) -> None:
-        if channel in self.channels:
+        if self._accepts(channel, record):
             self.inner.emit(channel, record, final=final)
 
     def finalize(self, record: object) -> None:

@@ -59,9 +59,12 @@ def _to_jsonable(value: object) -> object:
     if isinstance(value, (MediaKind, TbKind)):
         return value.value
     if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        # call_id is omitted when unset so single-call traces serialize
+        # byte-identically to files written before the multi-call cell.
         return {
             f.name: _to_jsonable(getattr(value, f.name))
             for f in dataclasses.fields(value)
+            if not (f.name == "call_id" and getattr(value, f.name) is None)
         }
     if isinstance(value, dict):
         return {k: _to_jsonable(v) for k, v in value.items()}
@@ -82,6 +85,7 @@ def _packet_from_dict(data: dict) -> PacketRecord:
         captures=dict(data.get("captures", {})),
         ran=ran,
         dropped=data.get("dropped", False),
+        call_id=data.get("call_id"),
     )
 
 

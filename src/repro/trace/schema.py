@@ -118,6 +118,9 @@ class PacketRecord:
     captures: Dict[str, TimeUs] = field(default_factory=dict)
     ran: Optional[RanPacketTelemetry] = None
     dropped: bool = False
+    #: Conference call this packet belongs to (None on single-call records,
+    #: which predate the multi-call cell and serialize without the field).
+    call_id: Optional[int] = None
 
     def capture_at(self, point: CapturePoint) -> Optional[TimeUs]:
         """Timestamp at a capture point, or None if never seen there."""
@@ -194,6 +197,8 @@ class FrameRecord:
     rendered_us: Optional[TimeUs] = None
     display_duration_us: Optional[TimeUs] = None
     stalled: bool = False
+    #: Conference call this frame belongs to (None on single-call records).
+    call_id: Optional[int] = None
 
 
 @dataclass
@@ -210,6 +215,8 @@ class SyncExchangeRecord:
     t2: TimeUs
     t3: TimeUs
     t4: TimeUs
+    #: Conference call whose topology ran the exchange (None on single-call).
+    call_id: Optional[int] = None
 
 
 @dataclass
@@ -219,12 +226,28 @@ class ProbeRecord:
     probe_id: int
     sent_us: TimeUs
     received_us: Optional[TimeUs] = None
+    #: Conference call whose prober sent the echo (None on single-call).
+    call_id: Optional[int] = None
 
     def owd_us(self) -> Optional[TimeUs]:
         """One-way delay, or None if the probe was lost."""
         if self.received_us is None:
             return None
         return self.received_us - self.sent_us
+
+
+def record_belongs_to_call(
+    channel: str, record: object, call_id: int, ue_id: Optional[int]
+) -> bool:
+    """Whether a record is part of call ``call_id`` (UE ``ue_id``).
+
+    Application-layer records (packets, frames, probes, sync exchanges)
+    carry ``call_id`` directly; PHY records (transport blocks, grants) are
+    cell-shared and attributed through the call's UE id instead.
+    """
+    if channel in ("tb", "grant"):
+        return ue_id is not None and getattr(record, "ue_id", None) == ue_id
+    return getattr(record, "call_id", None) == call_id
 
 
 @dataclass
@@ -258,3 +281,37 @@ class Trace:
     def tb_index(self) -> Dict[int, TransportBlockRecord]:
         """Map from tb_id to record."""
         return {tb.tb_id: tb for tb in self.transport_blocks}
+
+    def call_ids(self) -> List[int]:
+        """Distinct call ids tagged on this trace's records, ascending."""
+        ids = {
+            record.call_id
+            for family in (self.packets, self.frames, self.probes, self.sync_exchanges)
+            for record in family
+            if record.call_id is not None
+        }
+        return sorted(ids)
+
+    def for_call(self, call_id: int, ue_id: Optional[int] = None) -> "Trace":
+        """The per-call view of a multi-call cell trace.
+
+        Record objects are shared with the parent trace, not copied; PHY
+        records are attributed through ``ue_id`` (see
+        :func:`record_belongs_to_call`), so passing ``ue_id=None`` yields a
+        view without TB/grant telemetry.
+        """
+        view = Trace(metadata=dict(self.metadata))
+        view.metadata["call_id"] = call_id
+        from .bus import CHANNEL_FIELDS  # local import: bus imports schema
+
+        for channel, attr in CHANNEL_FIELDS.items():
+            setattr(
+                view,
+                attr,
+                [
+                    record
+                    for record in getattr(self, attr)
+                    if record_belongs_to_call(channel, record, call_id, ue_id)
+                ],
+            )
+        return view

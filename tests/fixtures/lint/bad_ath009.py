@@ -1,0 +1,18 @@
+"""Fixture: ATH009 — record indexes keyed by bare ids (collide across calls)."""
+
+
+def index_packets(trace):
+    return {p.packet_id: p for p in trace.packets}  # line 5: unscoped key
+
+
+def index_frames(trace):
+    by_id = dict((f.frame_id, f) for f in trace.frames)  # line 9: same via dict()
+    return by_id
+
+
+def join_tbs(trace):
+    tbs = {tb.tb_id: tb for tb in trace.transport_blocks}  # line 14: unscoped
+    # scoped forms are fine:
+    scoped = {(p.call_id, p.packet_id): p for p in trace.packets}
+    by_ue = {(tb.ue_id, tb.tb_id): tb for tb in trace.transport_blocks}
+    return tbs, scoped, by_ue

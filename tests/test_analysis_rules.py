@@ -21,6 +21,7 @@ EXPECTED = {
     "bad_ath006.py": ("ATH006", (7, 9, 15)),
     "bad_ath007.py": ("ATH007", (5, 6, 14)),
     "bad_ath008.py": ("ATH008", (6, 8)),
+    "bad_ath009.py": ("ATH009", (5, 9, 14)),
 }
 
 
@@ -218,6 +219,40 @@ class TestTraceAppendRule:
         src = "self.trace.packets.append(record)\n"
         options = {"ATH007": {"exempt": ["repro/trace/*.py"]}}
         assert lint_source(src, "repro/trace/bus.py", rule_ids=["ATH007"],
+                           rule_options=options) == []
+
+
+class TestCallScopeRule:
+    def test_bare_id_dictcomp_flagged(self):
+        src = "index = {p.packet_id: p for p in trace.packets}\n"
+        results = lint_source(src, rule_ids=["ATH009"])
+        assert len(results) == 1
+        assert "packet_id" in results[0][0].message
+
+    def test_dict_generator_call_flagged(self):
+        src = "index = dict((f.frame_id, f) for f in trace.frames)\n"
+        assert len(lint_source(src, rule_ids=["ATH009"])) == 1
+
+    def test_unscoped_tuple_key_flagged(self):
+        src = "index = {(p.flow_id, p.packet_id): p for p in trace.packets}\n"
+        assert len(lint_source(src, rule_ids=["ATH009"])) == 1
+
+    def test_call_scoped_tuple_key_ok(self):
+        src = "index = {(p.call_id, p.packet_id): p for p in trace.packets}\n"
+        assert lint_source(src, rule_ids=["ATH009"]) == []
+
+    def test_ue_scoped_tuple_key_ok(self):
+        src = "index = {(tb.ue_id, tb.tb_id): tb for tb in trace.transport_blocks}\n"
+        assert lint_source(src, rule_ids=["ATH009"]) == []
+
+    def test_non_id_keys_ok(self):
+        src = "index = {p.flow_id: p for p in trace.packets}\n"
+        assert lint_source(src, rule_ids=["ATH009"]) == []
+
+    def test_trace_package_exempt_via_options(self):
+        src = "index = {p.packet_id: p for p in self.packets}\n"
+        options = {"ATH009": {"exempt": ["repro/trace/*.py"]}}
+        assert lint_source(src, "repro/trace/schema.py", rule_ids=["ATH009"],
                            rule_options=options) == []
 
 

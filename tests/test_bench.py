@@ -52,13 +52,16 @@ def test_run_bench_writes_json_payload(tmp_path):
     assert on_disk["smoke"] is True
     assert set(on_disk["results"]) == {
         "event_loop", "full_stack_1s", "idle_heavy_60s", "fig7",
-        "streaming_analysis",
+        "streaming_analysis", "multicall",
     }
     for key in ("full_stack_1s", "idle_heavy_60s"):
         entry = on_disk["results"][key]
         assert {"speedup", "min_speedup", "pass"} <= set(entry)
     stream = on_disk["results"]["streaming_analysis"]
     assert {"peak_ratio", "max_peak_ratio", "records_per_s", "pass"} <= set(stream)
+    multi = on_disk["results"]["multicall"]
+    assert {"n_calls", "per_call_overhead"} <= set(multi)
+    assert multi["per_call_overhead"] > 0
     assert isinstance(on_disk["ok"], bool)
 
 
