@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: check check-full lint lint-cold lint-json lint-sarif lint-changed test smoke smoke-multicall bench
+.PHONY: check check-full lint lint-cold lint-json lint-sarif lint-changed test smoke smoke-multicall bench bench-trace
 
 check: lint test smoke
 
@@ -40,3 +40,8 @@ smoke-multicall:
 
 bench:
 	$(PYTHON) -m repro bench
+
+# Just the columnar trace fast path, gated against its committed floors
+# (trace_emit >= 2.0x emission, sweep_transport >= 1.5x sweep wall-clock).
+bench-trace:
+	$(PYTHON) -m repro bench --only trace_emit,sweep_transport --check --out /tmp/BENCH_trace.json

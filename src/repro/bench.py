@@ -24,6 +24,13 @@ Four benchmarks, each timed with a warmup pass and min-of-N repetitions
   memory vs. loading the whole trace (the batch baseline).  The pass gate
   is the peak-memory ratio — streaming must stay well under the full
   in-memory trace, proving the watermark window actually bounds state.
+* ``trace_emit`` — the columnar trace fast path: emit a dense synthetic
+  record stream and serialize it to JSONL, ``ColumnarSink`` + batch
+  encoder vs ``InMemorySink`` + the per-record writer (byte-identical
+  output is asserted as part of the pass gate).
+* ``sweep_transport`` — full-trace sweep collection at ``--jobs 4``:
+  warm-pool workers returning compact columnar payloads vs the legacy
+  fork-per-sweep pool returning pickled ``Trace`` record graphs.
 
 Results are written to ``BENCH_perf.json`` (see README for the format).
 This module is exempt from ATH001: measuring wall-clock time is its job.
@@ -35,7 +42,7 @@ from __future__ import annotations
 import json
 from dataclasses import replace
 from time import perf_counter
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from .experiments.fig7_qoe import run_fig7
 from .phy import FixedChannel, RanConfig, RanSimulator
@@ -57,6 +64,10 @@ IDLE_HEAVY_MIN_SPEEDUP = 3.0
 #: peak memory (loading the full trace).  Generous: the win grows with
 #: trace length, and bench traces are short.
 STREAMING_MAX_PEAK_RATIO = 0.8
+#: Columnar emit-to-JSONL pipeline vs the InMemorySink + per-record writer.
+TRACE_EMIT_MIN_SPEEDUP = 2.0
+#: Warm-pool columnar-payload sweep vs the fork-per-sweep pickled-Trace one.
+SWEEP_TRANSPORT_MIN_SPEEDUP = 1.5
 
 
 def _best_of(fn: Callable[[], float], reps: int) -> float:
@@ -290,6 +301,274 @@ def bench_streaming_analysis(
 
 
 # ---------------------------------------------------------------------------
+# trace emission + serialization (columnar fast path)
+
+
+def _synthetic_trace_records(n_packets: int) -> List:
+    """A deterministic dense telemetry stream: ``(channel, record, mutable)``.
+
+    Shaped like a real session (packets dominate, with RTP + capture
+    stamps + RAN telemetry; one TB per two packets; one frame per ten) but
+    generated arithmetically so benches measure the trace layer, not the
+    simulator.  ``mutable`` records are emitted ``final=False`` and
+    finalized, exercising the staging path sinks take for in-flight
+    records.
+    """
+    from .trace import FrameRecord, RanPacketTelemetry, RtpInfo, TbKind
+    from .trace import TransportBlockRecord as TbRecord
+
+    records: List = []
+    for i in range(n_packets):
+        base_us = 1_000 + i * 250
+        video = i % 10 != 0
+        records.append((
+            "packet",
+            PacketRecord(
+                packet_id=i,
+                flow_id="video/0" if video else "audio/0",
+                kind=MediaKind.VIDEO if video else MediaKind.AUDIO,
+                size_bytes=1_100 + (i % 7) * 40,
+                rtp=RtpInfo(0x5EED, i & 0xFFFF, i * 90, i // 10, i % 3,
+                            i % 10 == 9, i % 10 == 1),
+                captures={
+                    "ue.send_us": base_us,
+                    "gnb.recv_us": base_us + 4_000,
+                    "sfu.recv_us": base_us + 9_000,
+                    "receiver.app_us": base_us + 12_000,
+                },
+                ran=RanPacketTelemetry(
+                    enqueue_us=base_us,
+                    first_tb_us=base_us + 1_500,
+                    delivered_us=base_us + 4_000,
+                    queue_wait_us=900,
+                    sched_wait_us=400,
+                    spread_wait_us=200,
+                    harq_delay_us=0 if i % 5 else 10_000,
+                    harq_rounds=0 if i % 5 else 1,
+                    tb_ids=[i // 2],
+                ),
+                dropped=i % 97 == 96,
+            ),
+            True,
+        ))
+        if i % 2 == 0:
+            records.append((
+                "tb",
+                TbRecord(
+                    tb_id=i // 2,
+                    ue_id=1,
+                    slot_us=base_us + 1_500,
+                    kind=TbKind.PROACTIVE if i % 4 else TbKind.REQUESTED,
+                    size_bits=120_000,
+                    used_bits=(1_100 + (i % 7) * 40) * 8,
+                    packet_ids=[i, i + 1],
+                    harq_rounds=0 if i % 5 else 1,
+                    failed_slot_us=[] if i % 5 else [base_us + 1_000],
+                    delivered_us=base_us + 4_000,
+                ),
+                False,
+            ))
+        if i % 10 == 1:
+            records.append((
+                "frame",
+                FrameRecord(
+                    frame_id=i // 10,
+                    stream="video",
+                    capture_us=base_us,
+                    encode_done_us=base_us + 3_000,
+                    size_bytes=9_000 + (i % 11) * 300,
+                    svc_layer=i % 3,
+                    target_fps=30.0,
+                    packet_ids=list(range(i, min(i + 9, n_packets))),
+                    ssim=0.97,
+                    rendered_us=base_us + 40_000,
+                    display_duration_us=33_333,
+                    stalled=i % 30 == 21,
+                ),
+                True,
+            ))
+    return records
+
+
+def _emit_all(sink, records: List) -> None:
+    """Emit a synthetic stream into ``sink`` and close it."""
+    emit = sink.emit
+    finalize = sink.finalize
+    for channel, record, mutable in records:
+        if mutable:
+            emit(channel, record, final=False)
+            finalize(record)
+        else:
+            emit(channel, record)
+    sink.close()
+
+
+def _write_jsonl_per_record(trace, path: str) -> None:
+    """The historical writer: one ``to_jsonable`` + ``json.dumps`` per record.
+
+    Kept inline here as the measured baseline after
+    :func:`repro.trace.io.save_trace` moved to the batch encoder.
+    """
+    from .trace.bus import CHANNEL_FIELDS
+    from .trace.io import to_jsonable
+
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(json.dumps({"type": "meta", **to_jsonable(trace.metadata)}) + "\n")
+        for tag, attr in CHANNEL_FIELDS.items():
+            for record in getattr(trace, attr):
+                fh.write(json.dumps({"type": tag, **to_jsonable(record)}) + "\n")
+
+
+def bench_trace_emit(n_packets: int = 20_000, reps: int = 3) -> Dict[str, object]:
+    """Emit-to-JSONL throughput: columnar fast path vs the record path.
+
+    Both sides consume the same pre-built record stream (record
+    *construction* is the simulator's cost, identical either way) and
+    produce byte-identical JSONL files; the measured pipeline is sink
+    retention plus serialization — dataclass boxing + per-record
+    ``json.dumps`` on the baseline, column staging + the batch encoder on
+    the fast path.
+    """
+    import filecmp
+    import os
+    import tempfile
+
+    from .trace.bus import InMemorySink
+    from .trace.columnar import ColumnarSink
+    from .trace.io import write_trace_jsonl
+    from .trace.schema import Trace
+
+    records = _synthetic_trace_records(n_packets)
+    n_records = len(records)
+    tmp_dir = tempfile.mkdtemp(prefix="bench_emit_")
+    legacy_path = os.path.join(tmp_dir, "legacy.jsonl")
+    columnar_path = os.path.join(tmp_dir, "columnar.jsonl")
+
+    def legacy_pipeline() -> float:
+        t0 = perf_counter()
+        sink = InMemorySink(Trace())
+        _emit_all(sink, records)
+        _write_jsonl_per_record(sink.result_trace(), legacy_path)
+        return perf_counter() - t0
+
+    def columnar_pipeline() -> float:
+        t0 = perf_counter()
+        sink = ColumnarSink()
+        _emit_all(sink, records)
+        write_trace_jsonl(sink.result_trace(), columnar_path)
+        return perf_counter() - t0
+
+    try:
+        legacy_s = _best_of(legacy_pipeline, reps)
+        columnar_s = _best_of(columnar_pipeline, reps)
+        identical = filecmp.cmp(legacy_path, columnar_path, shallow=False)
+    finally:
+        for path in (legacy_path, columnar_path):
+            if os.path.exists(path):
+                os.remove(path)
+        os.rmdir(tmp_dir)
+    speedup = legacy_s / columnar_s
+    return {
+        "n_records": n_records,
+        "legacy_best_s": legacy_s,
+        "columnar_best_s": columnar_s,
+        "legacy_records_per_s": n_records / legacy_s,
+        "columnar_records_per_s": n_records / columnar_s,
+        "bytes_identical": identical,
+        "speedup": speedup,
+        "min_speedup": TRACE_EMIT_MIN_SPEEDUP,
+        "pass": speedup >= TRACE_EMIT_MIN_SPEEDUP and identical,
+    }
+
+
+# ---------------------------------------------------------------------------
+# sweep transport
+
+
+def _transport_task_pickle(n_packets: int):
+    """Worker: build a dense trace, return it as a pickled record graph."""
+    from .trace.bus import InMemorySink
+    from .trace.schema import Trace
+
+    sink = InMemorySink(Trace())
+    _emit_all(sink, _synthetic_trace_records(n_packets))
+    return sink.result_trace()
+
+
+def _transport_task_payload(n_packets: int) -> bytes:
+    """Worker: build the same trace, return the compact columnar payload."""
+    from .trace.columnar import ColumnarSink
+
+    sink = ColumnarSink()
+    _emit_all(sink, _synthetic_trace_records(n_packets))
+    return sink.result_trace().to_payload()
+
+
+def bench_sweep_transport(
+    tasks: int = 8, n_packets: int = 4_000, jobs: int = 4, reps: int = 2
+) -> Dict[str, object]:
+    """Full-trace sweep collection: columnar payloads vs pickled graphs.
+
+    Models ``athena-repro sweep --jobs 4`` with trace collection.  The
+    legacy side is the pre-columnar executor exactly: a fresh worker pool
+    per sweep, ``chunksize=1``, each worker returning its whole record
+    graph through pickle, the parent unpickling object by object.  The new
+    side is the shipped path: one warm :class:`~repro.run.batch.BatchExecutor`
+    reused across sweeps, adaptive chunksize, workers returning flat
+    columnar payloads the parent rebuilds as lazy
+    :class:`~repro.trace.columnar.ColumnarTrace` views.
+    """
+    from concurrent.futures import ProcessPoolExecutor
+
+    from .run.batch import BatchExecutor
+    from .trace.columnar import trace_from_payload
+
+    work = [n_packets] * tasks
+
+    def legacy_sweep() -> float:
+        t0 = perf_counter()
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            traces = list(pool.map(_transport_task_pickle, work, chunksize=1))
+        count = sum(len(trace.packets) for trace in traces)
+        elapsed_s = perf_counter() - t0
+        assert count == tasks * n_packets
+        return elapsed_s
+
+    with BatchExecutor(jobs=jobs) as warm:
+        # Warm the pool outside the timed region: reuse across sweep
+        # phases is the point — steady-state sweeps find workers running.
+        warm.map(_noop_task, [0] * jobs, chunksize=1)
+
+        def columnar_sweep() -> float:
+            t0 = perf_counter()
+            payloads = warm.map(_transport_task_payload, work)
+            traces = [trace_from_payload(payload) for payload in payloads]
+            count = sum(len(trace.packets) for trace in traces)
+            elapsed_s = perf_counter() - t0
+            assert count == tasks * n_packets
+            return elapsed_s
+
+        legacy_s = _best_of(legacy_sweep, reps)
+        columnar_s = _best_of(columnar_sweep, reps)
+    speedup = legacy_s / columnar_s
+    return {
+        "tasks": tasks,
+        "packets_per_trace": n_packets,
+        "jobs": jobs,
+        "legacy_best_s": legacy_s,
+        "columnar_best_s": columnar_s,
+        "speedup": speedup,
+        "min_speedup": SWEEP_TRANSPORT_MIN_SPEEDUP,
+        "pass": speedup >= SWEEP_TRANSPORT_MIN_SPEEDUP,
+    }
+
+
+def _noop_task(_: int) -> None:
+    """Pool-warming no-op (module-level so workers can unpickle it)."""
+    return None
+
+
+# ---------------------------------------------------------------------------
 # fig 7 macro benchmark
 
 
@@ -309,19 +588,56 @@ def bench_fig7(duration_s: float = 10.0, reps: int = 2) -> Dict[str, object]:
 # harness
 
 
+#: Benchmark registry: plan key -> (result key, runner, progress line).
+BENCHMARKS: Dict[str, Tuple[str, Callable, str]] = {}
+
+
+def _register_benchmarks() -> None:
+    if BENCHMARKS:
+        return
+    BENCHMARKS.update({
+        "event_loop": (
+            "event_loop", bench_event_loop, "event loop"),
+        "full_stack": (
+            "full_stack_1s", bench_full_stack,
+            "full-stack 1 s session (elide vs reference)"),
+        "idle_heavy": (
+            "idle_heavy_60s", bench_idle_heavy,
+            "idle-heavy session (elide vs reference)"),
+        "fig7": ("fig7", bench_fig7, "Fig 7 regeneration"),
+        "streaming": (
+            "streaming_analysis", bench_streaming_analysis,
+            "streaming trace analysis (peak memory vs batch)"),
+        "multicall": (
+            "multicall", bench_multicall,
+            "multi-call cell (N calls vs N sessions)"),
+        "trace_emit": (
+            "trace_emit", bench_trace_emit,
+            "trace emission (columnar vs record path)"),
+        "sweep_transport": (
+            "sweep_transport", bench_sweep_transport,
+            "sweep transport (columnar payloads vs pickled traces)"),
+    })
+
+
 def run_bench(
     out_path: str = "BENCH_perf.json",
     smoke: bool = False,
     reps: Optional[int] = None,
     report: Optional[Callable[[str], None]] = print,
+    only: Optional[Sequence[str]] = None,
 ) -> Dict[str, object]:
     """Run every benchmark, write ``out_path``, and return the results.
 
     ``smoke`` shrinks repetitions and simulated durations for CI: the
     speedup *ratios* are preserved (both sides shrink together), so the
     pass/fail floors still hold; only the absolute times lose stability.
+    ``only`` restricts the run to a subset of benchmark names (plan keys
+    like ``"trace_emit"`` or result keys like ``"full_stack_1s"``) — what
+    ``make bench-trace`` uses to gate just the trace fast path.
     """
     say = report if report is not None else (lambda line: None)
+    _register_benchmarks()
     if smoke:
         plan = {
             "event_loop": dict(n_events=20_000, reps=reps or 1),
@@ -330,6 +646,10 @@ def run_bench(
             "fig7": dict(duration_s=2.0, reps=reps or 1),
             "streaming": dict(duration_s=6.0, reps=reps or 1),
             "multicall": dict(duration_s=1.0, n_calls=2, reps=reps or 1),
+            "trace_emit": dict(n_packets=4_000, reps=reps or 1),
+            "sweep_transport": dict(
+                tasks=4, n_packets=1_500, jobs=4, reps=reps or 1
+            ),
         }
     else:
         plan = {
@@ -339,45 +659,59 @@ def run_bench(
             "fig7": dict(duration_s=10.0, reps=reps or 2),
             "streaming": dict(duration_s=20.0, reps=reps or 2),
             "multicall": dict(duration_s=1.0, n_calls=4, reps=reps or 3),
+            "trace_emit": dict(n_packets=20_000, reps=reps or 3),
+            "sweep_transport": dict(
+                tasks=8, n_packets=4_000, jobs=4, reps=reps or 2
+            ),
         }
 
+    selected = list(BENCHMARKS)
+    if only:
+        wanted = set(only)
+        selected = [
+            plan_key for plan_key in BENCHMARKS
+            if plan_key in wanted or BENCHMARKS[plan_key][0] in wanted
+        ]
+        known = set(BENCHMARKS) | {spec[0] for spec in BENCHMARKS.values()}
+        unknown = wanted - known
+        if unknown:
+            raise ValueError(
+                f"unknown benchmarks: {sorted(unknown)}; "
+                f"choose from {sorted(known)}"
+            )
+
     results: Dict[str, object] = {}
-    say("bench: event loop ...")
-    results["event_loop"] = bench_event_loop(**plan["event_loop"])
-    say("bench: full-stack 1 s session (elide vs reference) ...")
-    results["full_stack_1s"] = bench_full_stack(**plan["full_stack"])
-    say("bench: idle-heavy session (elide vs reference) ...")
-    results["idle_heavy_60s"] = bench_idle_heavy(**plan["idle_heavy"])
-    say("bench: Fig 7 regeneration ...")
-    results["fig7"] = bench_fig7(**plan["fig7"])
-    say("bench: streaming trace analysis (peak memory vs batch) ...")
-    results["streaming_analysis"] = bench_streaming_analysis(
-        **plan["streaming"]
-    )
-    say("bench: multi-call cell (N calls vs N sessions) ...")
-    results["multicall"] = bench_multicall(**plan["multicall"])
+    for plan_key in selected:
+        result_key, runner, label = BENCHMARKS[plan_key]
+        say(f"bench: {label} ...")
+        results[result_key] = runner(**plan[plan_key])
 
     checks: List[str] = []
-    for key in ("full_stack_1s", "idle_heavy_60s"):
+    for key in ("full_stack_1s", "idle_heavy_60s", "trace_emit",
+                "sweep_transport"):
+        if key not in results:
+            continue
         entry = results[key]
         status = "PASS" if entry["pass"] else "FAIL"  # type: ignore[index]
         checks.append(
             f"{key}: {entry['speedup']:.2f}x "  # type: ignore[index]
             f"(floor {entry['min_speedup']}x) {status}"  # type: ignore[index]
         )
-    stream = results["streaming_analysis"]
-    stream_status = "PASS" if stream["pass"] else "FAIL"  # type: ignore[index]
-    checks.append(
-        f"streaming_analysis: peak {stream['peak_ratio']:.2f}x batch "  # type: ignore[index]
-        f"(ceiling {stream['max_peak_ratio']}x), "  # type: ignore[index]
-        f"{stream['records_per_s']:.0f} records/s {stream_status}"  # type: ignore[index]
-    )
-    multicall = results["multicall"]
-    checks.append(
-        f"multicall: {multicall['n_calls']} calls at "  # type: ignore[index]
-        f"{multicall['per_call_overhead']:.2f}x per-call cost "  # type: ignore[index]
-        "(info only)"
-    )
+    if "streaming_analysis" in results:
+        stream = results["streaming_analysis"]
+        stream_status = "PASS" if stream["pass"] else "FAIL"  # type: ignore[index]
+        checks.append(
+            f"streaming_analysis: peak {stream['peak_ratio']:.2f}x batch "  # type: ignore[index]
+            f"(ceiling {stream['max_peak_ratio']}x), "  # type: ignore[index]
+            f"{stream['records_per_s']:.0f} records/s {stream_status}"  # type: ignore[index]
+        )
+    if "multicall" in results:
+        multicall = results["multicall"]
+        checks.append(
+            f"multicall: {multicall['n_calls']} calls at "  # type: ignore[index]
+            f"{multicall['per_call_overhead']:.2f}x per-call cost "  # type: ignore[index]
+            "(info only)"
+        )
     payload = {
         "schema": "athena-bench/1",
         "smoke": smoke,

@@ -164,7 +164,12 @@ def _cmd_reproduce_all(args: argparse.Namespace) -> int:
 def _cmd_bench(args: argparse.Namespace) -> int:
     from .bench import run_bench
 
-    payload = run_bench(out_path=args.out, smoke=args.smoke, reps=args.reps)
+    only = None
+    if args.only:
+        only = [name.strip() for name in args.only.split(",") if name.strip()]
+    payload = run_bench(
+        out_path=args.out, smoke=args.smoke, reps=args.reps, only=only
+    )
     if not payload["ok"] and args.check:
         print("bench: speedup below the regression floor", file=sys.stderr)
         return 1
@@ -196,7 +201,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 def _sweep_seed_grid(args: argparse.Namespace) -> int:
     """Run a seed × access grid through the parallel batch executor."""
     from .core.report import format_table
-    from .run import collect_summary, run_batch, sweep_grid
+    from .run import BatchExecutor, collect_summary, run_batch, sweep_grid
     from .run.batch import collect_call_summaries
     from .run.scenario import CallSpec, ScenarioConfig
 
@@ -230,8 +235,18 @@ def _sweep_seed_grid(args: argparse.Namespace) -> int:
           f"({len(accesses)} access x {len(seeds)} seeds, "
           f"{duration_s:.0f} s each"
           + (f", {args.calls} calls/cell" if calls else "") + ") ...")
+    # One warm worker pool serves every per-access phase of the grid
+    # (forking a fresh executor per axis re-pays worker start-up).
+    phases = [sweep_grid(base, seeds, {kind: variants[kind]}) for kind in variants]
     if calls:
-        runs = run_batch(specs, collect=collect_call_summaries, jobs=args.jobs)
+        with BatchExecutor(jobs=args.jobs) as ex:
+            runs = [
+                run
+                for phase in phases
+                for run in run_batch(
+                    phase, collect=collect_call_summaries, executor=ex
+                )
+            ]
         rows = [
             [
                 f"{run.label}/call{int(row['call_id'])}",
@@ -248,7 +263,12 @@ def _sweep_seed_grid(args: argparse.Namespace) -> int:
             rows,
         ))
         return 0
-    runs = run_batch(specs, collect=collect_summary, jobs=args.jobs)
+    with BatchExecutor(jobs=args.jobs) as ex:
+        runs = [
+            run
+            for phase in phases
+            for run in run_batch(phase, collect=collect_summary, executor=ex)
+        ]
     rows = [
         [
             run.label,
@@ -338,6 +358,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="fast CI mode: fewer reps, shorter sessions")
     bench.add_argument("--reps", type=int, default=None,
                        help="override repetitions for every benchmark")
+    bench.add_argument("--only", default=None,
+                       help="comma-separated benchmark names to run "
+                            "(e.g. trace_emit,sweep_transport)")
     bench.add_argument("--check", action="store_true",
                        help="exit non-zero if a speedup floor is missed")
     bench.set_defaults(fn=_cmd_bench)

@@ -37,6 +37,13 @@ def replay_trace(
     Records are fed family-by-family in stored order with no watermark, so
     replay order equals trace order within every channel — the invariant
     the batch-equivalence guarantees in :mod:`.operators` rest on.
+
+    ``trace`` may be a plain dataclass-backed :class:`Trace` or a
+    :class:`~repro.trace.columnar.ColumnarTrace`: the record families are
+    only iterated, which the columnar backend's lazy
+    :class:`~repro.trace.columnar.ChannelView` rows serve by materializing
+    one record at a time (and caching it, so repeated replays over the
+    same trace share objects with other consumers).
     """
     tap = AnalysisTap(operators, lateness_us=None)
     for channel, attr in CHANNEL_FIELDS.items():

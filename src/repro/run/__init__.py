@@ -7,13 +7,16 @@ contract in :mod:`repro.run.scenario` and multi-process sweep execution in
 """
 
 from .batch import (
+    BatchExecutor,
     BatchRun,
     RunSpec,
     collect_call_summaries,
     collect_qoe,
     collect_summary,
     collect_trace,
+    collect_trace_payload,
     run_batch,
+    run_batch_traces,
     sweep_grid,
 )
 from .builder import (
@@ -21,6 +24,7 @@ from .builder import (
     CallContext,
     SessionBuilder,
     SessionContext,
+    default_sink,
     make_channel,
     make_estimator,
     register_access,
@@ -34,6 +38,7 @@ from .scenario import (
     KNOWN_ACCESS,
     KNOWN_CHANNELS,
     KNOWN_ESTIMATORS,
+    KNOWN_TRACE_BACKENDS,
     MONITORED_UE_ID,
     CallResult,
     CallSpec,
@@ -42,6 +47,7 @@ from .scenario import (
 )
 
 __all__ = [
+    "BatchExecutor",
     "BatchRun",
     "CallContext",
     "CallResult",
@@ -50,6 +56,7 @@ __all__ = [
     "KNOWN_ACCESS",
     "KNOWN_CHANNELS",
     "KNOWN_ESTIMATORS",
+    "KNOWN_TRACE_BACKENDS",
     "MONITORED_UE_ID",
     "RunSpec",
     "ScenarioConfig",
@@ -60,6 +67,8 @@ __all__ = [
     "collect_qoe",
     "collect_summary",
     "collect_trace",
+    "collect_trace_payload",
+    "default_sink",
     "make_channel",
     "make_estimator",
     "register_access",
@@ -68,6 +77,7 @@ __all__ = [
     "register_estimator",
     "register_stage",
     "run_batch",
+    "run_batch_traces",
     "run_session",
     "sweep_grid",
 ]

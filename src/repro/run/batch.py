@@ -105,39 +105,213 @@ def collect_call_summaries(result: SessionResult) -> List[Dict[str, float]]:
 
 
 # ----------------------------------------------------------------------
+# Trace transport (columnar payloads instead of pickled record graphs)
+# ----------------------------------------------------------------------
+def collect_trace_payload(result: SessionResult) -> bytes:
+    """Reduce a run to its trace as a compact columnar payload.
+
+    A worker returns one flat ``bytes`` blob (column buffers plus intern
+    tables, see :mod:`repro.trace.columnar`) instead of pickling the whole
+    record graph object by object — the parent rebuilds a lazy
+    :class:`~repro.trace.columnar.ColumnarTrace` with
+    :func:`~repro.trace.columnar.trace_from_payload`.
+    """
+    from ..trace.columnar import columnar_trace_from_trace
+
+    return columnar_trace_from_trace(result.trace).to_payload()
+
+
+def collect_trace_shm(result: SessionResult) -> Tuple[str, int]:
+    """Like :func:`collect_trace_payload` via ``multiprocessing.shared_memory``.
+
+    The worker copies the payload into a shared-memory segment and returns
+    only ``(segment name, byte length)`` over the result pipe; the parent
+    maps, decodes, and unlinks the segment (:func:`load_shared_payload`).
+    """
+    payload = collect_trace_payload(result)
+    return _share_payload(payload)
+
+
+def _share_payload(payload: bytes) -> Tuple[str, int]:
+    from multiprocessing import shared_memory
+
+    shm = shared_memory.SharedMemory(create=True, size=max(1, len(payload)))
+    shm.buf[: len(payload)] = payload
+    name = shm.name
+    shm.close()
+    try:
+        # Ownership transfers to the parent (which unlinks after reading);
+        # without this the worker's resource tracker would reap the segment
+        # when the worker exits.  Best effort: the tracker API is private.
+        from multiprocessing import resource_tracker
+
+        resource_tracker.unregister(shm._name, "shared_memory")
+    except Exception:
+        pass
+    return name, len(payload)
+
+
+def load_shared_payload(ref: Tuple[str, int]) -> bytes:
+    """Read and unlink a shared-memory payload written by a worker."""
+    from multiprocessing import shared_memory
+
+    name, nbytes = ref
+    shm = shared_memory.SharedMemory(name=name)
+    try:
+        return bytes(shm.buf[:nbytes])
+    finally:
+        shm.close()
+        shm.unlink()
+
+
+# ----------------------------------------------------------------------
 # Execution
 # ----------------------------------------------------------------------
+def _adaptive_chunksize(n_tasks: int, jobs: int) -> int:
+    """Tasks per worker dispatch: ~4 dispatch rounds per worker.
+
+    ``chunksize=1`` maximizes load-balance granularity but pays one IPC
+    round-trip per task; one quarter of an even split amortizes dispatch
+    while still letting fast workers steal from slow ones.
+    """
+    return max(1, n_tasks // (4 * jobs))
+
+
 def _run_one(task: Tuple[RunSpec, Collector]) -> Any:
     spec, collect = task
     return collect(run_session(spec.config))
+
+
+class BatchExecutor:
+    """A reusable warm worker pool for multi-phase sweeps.
+
+    ``run_batch`` forks a fresh :class:`ProcessPoolExecutor` per call;
+    a sweep that runs several grid phases (one per access kind, per
+    mitigation variant, per figure) pays worker start-up each time.  A
+    :class:`BatchExecutor` keeps one pool alive across phases::
+
+        with BatchExecutor(jobs=4) as ex:
+            for phase in phases:
+                runs = run_batch(phase_specs(phase), executor=ex)
+
+    ``jobs=1`` (or single-task batches) run in-process without ever
+    creating a pool.  The pool is created lazily on first parallel use.
+    """
+
+    def __init__(self, jobs: Optional[int] = None) -> None:
+        if jobs is None:
+            jobs = os.cpu_count() or 1
+        self.jobs = max(1, jobs)
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self.phases_run = 0  # map() calls served (reuse telemetry/tests)
+
+    def map(
+        self,
+        fn: Callable[[Any], Any],
+        tasks: Sequence[Any],
+        chunksize: Optional[int] = None,
+    ) -> List[Any]:
+        """Order-preserving map over ``tasks`` on the warm pool."""
+        self.phases_run += 1
+        if self.jobs == 1 or len(tasks) <= 1:
+            return [fn(task) for task in tasks]
+        if chunksize is None:
+            chunksize = _adaptive_chunksize(len(tasks), self.jobs)
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.jobs)
+        return list(self._pool.map(fn, tasks, chunksize=chunksize))
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+    def __enter__(self) -> "BatchExecutor":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
 
 def run_batch(
     specs: Sequence[RunSpec],
     collect: Collector = collect_summary,
     jobs: Optional[int] = None,
+    *,
+    executor: Optional[BatchExecutor] = None,
+    chunksize: Optional[int] = None,
 ) -> List[BatchRun]:
     """Execute every spec and return collected outputs in spec order.
 
     ``jobs=None`` uses one worker per CPU (capped at the batch size);
     ``jobs=1`` runs serially in-process.  ``collect`` must be a picklable
-    module-level function when more than one worker is used.
+    module-level function when more than one worker is used.  ``chunksize``
+    defaults to the adaptive :func:`_adaptive_chunksize` split.  Passing a
+    warm :class:`BatchExecutor` as ``executor`` reuses its worker pool
+    instead of forking a fresh one (``jobs`` is then ignored).
     """
-    if jobs is None:
-        jobs = os.cpu_count() or 1
-    jobs = max(1, min(jobs, len(specs) or 1))
     tasks = [(spec, collect) for spec in specs]
-    if jobs == 1:
-        values = [_run_one(task) for task in tasks]
+    if executor is not None:
+        values = executor.map(_run_one, tasks, chunksize=chunksize)
     else:
-        with ProcessPoolExecutor(max_workers=jobs) as pool:
-            # Executor.map preserves input order regardless of completion
-            # order, which is what keeps batches drop-in for serial loops.
-            values = list(pool.map(_run_one, tasks, chunksize=1))
+        if jobs is None:
+            jobs = os.cpu_count() or 1
+        jobs = max(1, min(jobs, len(specs) or 1))
+        if jobs == 1:
+            values = [_run_one(task) for task in tasks]
+        else:
+            if chunksize is None:
+                chunksize = _adaptive_chunksize(len(tasks), jobs)
+            with ProcessPoolExecutor(max_workers=jobs) as pool:
+                # Executor.map preserves input order regardless of
+                # completion order, which is what keeps batches drop-in
+                # for serial loops.
+                values = list(pool.map(_run_one, tasks, chunksize=chunksize))
     return [
         BatchRun(label=spec.label, value=value)
         for spec, value in zip(specs, values)
     ]
+
+
+#: Trace transports for :func:`run_batch_traces`, cheapest first.
+TRACE_TRANSPORTS = ("payload", "shm", "pickle")
+
+
+def run_batch_traces(
+    specs: Sequence[RunSpec],
+    jobs: Optional[int] = None,
+    *,
+    transport: str = "payload",
+    executor: Optional[BatchExecutor] = None,
+    chunksize: Optional[int] = None,
+) -> List[BatchRun]:
+    """Run a sweep collecting the *full trace* of every session.
+
+    Unlike ``run_batch(specs, collect_trace)`` — which pickles each record
+    graph across the process boundary — the default ``"payload"``
+    transport ships one compact columnar blob per run and rebuilds lazy
+    :class:`~repro.trace.columnar.ColumnarTrace` views in the parent.
+    ``"shm"`` moves the same blob through ``multiprocessing.shared_memory``
+    (only a name crosses the result pipe); ``"pickle"`` is the legacy
+    record-graph transport.
+    """
+    from ..trace.columnar import trace_from_payload
+
+    if transport not in TRACE_TRANSPORTS:
+        raise ValueError(
+            f"unknown transport {transport!r}; choose from {TRACE_TRANSPORTS}"
+        )
+    if transport == "pickle":
+        return run_batch(
+            specs, collect_trace, jobs, executor=executor, chunksize=chunksize
+        )
+    collect = collect_trace_shm if transport == "shm" else collect_trace_payload
+    runs = run_batch(specs, collect, jobs, executor=executor, chunksize=chunksize)
+    out: List[BatchRun] = []
+    for run in runs:
+        payload = load_shared_payload(run.value) if transport == "shm" else run.value
+        out.append(BatchRun(label=run.label, value=trace_from_payload(payload)))
+    return out
 
 
 def sweep_grid(

@@ -8,6 +8,12 @@ from .bus import (
     StreamingJsonlSink,
     TraceSink,
 )
+from .columnar import (
+    ColumnarSink,
+    ColumnarTrace,
+    columnar_trace_from_trace,
+    trace_from_payload,
+)
 from .ids import IdSpace, use_id_space
 from .io import (
     TraceFormatError,
@@ -15,6 +21,7 @@ from .io import (
     iter_trace_records,
     load_trace,
     save_trace,
+    write_trace_jsonl,
 )
 from .schema import (
     CapturePoint,
@@ -34,6 +41,8 @@ from .schema import (
 __all__ = [
     "CHANNELS",
     "CapturePoint",
+    "ColumnarSink",
+    "ColumnarTrace",
     "FilteredSink",
     "FrameRecord",
     "GrantRecord",
@@ -52,9 +61,12 @@ __all__ = [
     "TraceSink",
     "TransportBlockRecord",
     "TraceFormatError",
+    "columnar_trace_from_trace",
     "export_csv",
     "iter_trace_records",
     "load_trace",
     "save_trace",
+    "trace_from_payload",
     "use_id_space",
+    "write_trace_jsonl",
 ]

@@ -1,0 +1,19 @@
+"""Fixture: ATH010 — per-record serialization calls inside loops."""
+
+import dataclasses
+import json
+from json import dumps
+
+
+def write_records(fh, records):
+    for record in records:
+        fh.write(json.dumps(record) + "\n")  # line 10: one dumps per record
+
+
+def rows(records):
+    return [dataclasses.asdict(r) for r in records]  # line 14: per-record
+
+
+def drain(fh, queue):
+    while queue:
+        fh.write(dumps(queue.pop()))  # line 19: bare imported name resolves

@@ -22,6 +22,7 @@ EXPECTED = {
     "bad_ath007.py": ("ATH007", (5, 6, 14)),
     "bad_ath008.py": ("ATH008", (6, 8)),
     "bad_ath009.py": ("ATH009", (5, 9, 14)),
+    "bad_ath010.py": ("ATH010", (10, 14, 19)),
 }
 
 
@@ -253,6 +254,53 @@ class TestCallScopeRule:
         src = "index = {p.packet_id: p for p in self.packets}\n"
         options = {"ATH009": {"exempt": ["repro/trace/*.py"]}}
         assert lint_source(src, "repro/trace/schema.py", rule_ids=["ATH009"],
+                           rule_options=options) == []
+
+
+class TestPerRecordSerializationRule:
+    def test_dumps_in_for_loop_flagged(self):
+        src = (
+            "import json\n"
+            "for r in rows:\n"
+            "    out.write(json.dumps(r))\n"
+        )
+        results = lint_source(src, rule_ids=["ATH010"])
+        assert [f.rule_id for f, _ in results] == ["ATH010"]
+
+    def test_asdict_in_comprehension_flagged(self):
+        src = (
+            "import dataclasses\n"
+            "payload = [dataclasses.asdict(r) for r in rows]\n"
+        )
+        assert len(lint_source(src, rule_ids=["ATH010"])) == 1
+
+    def test_aliased_import_resolved(self):
+        src = (
+            "from json import dumps as enc\n"
+            "while queue:\n"
+            "    fh.write(enc(queue.pop()))\n"
+        )
+        assert len(lint_source(src, rule_ids=["ATH010"])) == 1
+
+    def test_single_dumps_outside_loop_ok(self):
+        src = "import json\nblob = json.dumps(header)\n"
+        assert lint_source(src, rule_ids=["ATH010"]) == []
+
+    def test_batch_encode_in_loop_ok(self):
+        src = (
+            "for start in range(0, n, step):\n"
+            "    fh.write(encode_jsonl_batch(rows[start:start + step]))\n"
+        )
+        assert lint_source(src, rule_ids=["ATH010"]) == []
+
+    def test_other_dumps_callables_ok(self):
+        src = "import pickle\nfor r in rows:\n    pickle.dumps(r)\n"
+        assert lint_source(src, rule_ids=["ATH010"]) == []
+
+    def test_batch_encoder_exempt_via_options(self):
+        src = "import json\nlines = [json.dumps(r) for r in rows]\n"
+        options = {"ATH010": {"exempt": ["repro/trace/io.py"]}}
+        assert lint_source(src, "repro/trace/io.py", rule_ids=["ATH010"],
                            rule_options=options) == []
 
 

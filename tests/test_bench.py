@@ -14,6 +14,8 @@ from repro.bench import (
     bench_event_loop,
     bench_full_stack,
     bench_idle_heavy,
+    bench_sweep_transport,
+    bench_trace_emit,
     run_bench,
 )
 from repro.cli import build_parser
@@ -43,6 +45,32 @@ def test_idle_heavy_bench_times_both_paths():
     assert result["speedup"] > 0
 
 
+def test_trace_emit_bench_proves_byte_identity():
+    result = bench_trace_emit(n_packets=400, reps=1)
+    assert result["bytes_identical"] is True
+    assert result["legacy_best_s"] > 0
+    assert result["columnar_best_s"] > 0
+    assert result["speedup"] == (
+        result["legacy_best_s"] / result["columnar_best_s"]
+    )
+    # The floor is only asserted in dedicated bench runs, but a passing
+    # result must require byte-identity as well as the speedup.
+    assert result["pass"] == (
+        result["bytes_identical"]
+        and result["speedup"] >= result["min_speedup"]
+    )
+
+
+def test_sweep_transport_bench_times_both_transports():
+    result = bench_sweep_transport(tasks=2, n_packets=200, jobs=2, reps=1)
+    assert result["legacy_best_s"] > 0
+    assert result["columnar_best_s"] > 0
+    assert result["speedup"] == (
+        result["legacy_best_s"] / result["columnar_best_s"]
+    )
+    assert result["tasks"] == 2
+
+
 def test_run_bench_writes_json_payload(tmp_path):
     out = tmp_path / "BENCH_perf.json"
     payload = run_bench(out_path=str(out), smoke=True, reps=1, report=None)
@@ -52,11 +80,13 @@ def test_run_bench_writes_json_payload(tmp_path):
     assert on_disk["smoke"] is True
     assert set(on_disk["results"]) == {
         "event_loop", "full_stack_1s", "idle_heavy_60s", "fig7",
-        "streaming_analysis", "multicall",
+        "streaming_analysis", "multicall", "trace_emit", "sweep_transport",
     }
-    for key in ("full_stack_1s", "idle_heavy_60s"):
+    for key in ("full_stack_1s", "idle_heavy_60s", "trace_emit",
+                "sweep_transport"):
         entry = on_disk["results"][key]
         assert {"speedup", "min_speedup", "pass"} <= set(entry)
+    assert on_disk["results"]["trace_emit"]["bytes_identical"] is True
     stream = on_disk["results"]["streaming_analysis"]
     assert {"peak_ratio", "max_peak_ratio", "records_per_s", "pass"} <= set(stream)
     multi = on_disk["results"]["multicall"]
@@ -65,8 +95,27 @@ def test_run_bench_writes_json_payload(tmp_path):
     assert isinstance(on_disk["ok"], bool)
 
 
+def test_run_bench_only_filter(tmp_path):
+    out = tmp_path / "b.json"
+    payload = run_bench(out_path=str(out), smoke=True, reps=1, report=None,
+                        only=["event_loop"])
+    assert set(payload["results"]) == {"event_loop"}
+
+
+def test_run_bench_only_rejects_unknown_names(tmp_path):
+    import pytest
+
+    with pytest.raises(ValueError, match="unknown benchmarks"):
+        run_bench(out_path=str(tmp_path / "b.json"), smoke=True, reps=1,
+                  report=None, only=["not-a-bench"])
+
+
 def test_cli_has_bench_subcommand():
-    args = build_parser().parse_args(["bench", "--smoke", "--out", "x.json"])
+    args = build_parser().parse_args(
+        ["bench", "--smoke", "--out", "x.json",
+         "--only", "trace_emit,sweep_transport"]
+    )
     assert args.smoke is True
     assert args.out == "x.json"
+    assert args.only == "trace_emit,sweep_transport"
     assert args.fn.__name__ == "_cmd_bench"

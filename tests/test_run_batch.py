@@ -9,10 +9,15 @@ import pytest
 
 from repro.experiments.common import idle_cell_scenario
 from repro.run.batch import (
+    BatchExecutor,
     RunSpec,
+    TRACE_TRANSPORTS,
+    _adaptive_chunksize,
     collect_qoe,
     collect_summary,
+    collect_trace,
     run_batch,
+    run_batch_traces,
     sweep_grid,
 )
 from repro.run.scenario import ScenarioConfig
@@ -88,6 +93,60 @@ class TestCliSweep:
         out = capsys.readouterr().out
         assert code == 0
         assert "proactive grants" in out
+
+
+class TestAdaptiveChunksize:
+    def test_splits_work_four_ways_per_job(self):
+        assert _adaptive_chunksize(32, jobs=2) == 4
+        assert _adaptive_chunksize(100, jobs=4) == 6
+
+    def test_never_below_one(self):
+        assert _adaptive_chunksize(1, jobs=8) == 1
+        assert _adaptive_chunksize(0, jobs=2) == 1
+
+
+class TestBatchExecutor:
+    def test_reuse_across_phases(self):
+        specs = _specs(2)
+        with BatchExecutor(jobs=2) as ex:
+            first = run_batch(specs, collect=collect_summary, executor=ex)
+            second = run_batch(specs, collect=collect_summary, executor=ex)
+        assert ex.phases_run == 2
+        assert [r.value for r in first] == [r.value for r in second]
+
+    def test_serial_when_single_job(self):
+        with BatchExecutor(jobs=1) as ex:
+            runs = run_batch(_specs(2), collect=collect_summary, executor=ex)
+            assert ex._pool is None  # jobs=1 never forks a pool
+        assert len(runs) == 2
+        assert ex.phases_run == 1
+
+    def test_matches_plain_run_batch(self):
+        specs = _specs(2)
+        plain = run_batch(specs, collect=collect_summary, jobs=1)
+        with BatchExecutor(jobs=2) as ex:
+            pooled = run_batch(specs, collect=collect_summary, executor=ex)
+        assert [r.value for r in plain] == [r.value for r in pooled]
+
+
+class TestTraceTransports:
+    def test_all_transports_return_identical_traces(self):
+        specs = _specs(2, duration_s=1.0)
+        baseline = run_batch(specs, collect=collect_trace, jobs=1)
+        fields = ("packets", "transport_blocks", "grants", "frames",
+                  "probes", "sync_exchanges")
+        for transport in TRACE_TRANSPORTS:
+            runs = run_batch_traces(specs, jobs=2, transport=transport)
+            assert [r.label for r in runs] == [s.label for s in specs]
+            for ref, got in zip(baseline, runs):
+                for field in fields:
+                    assert list(getattr(ref.value, field)) == list(
+                        getattr(got.value, field)
+                    ), (transport, field)
+
+    def test_unknown_transport_rejected(self):
+        with pytest.raises(ValueError, match="unknown transport"):
+            run_batch_traces(_specs(1), transport="carrier-pigeon")
 
 
 @pytest.mark.skipif((os.cpu_count() or 1) < 2,

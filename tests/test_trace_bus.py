@@ -140,6 +140,28 @@ class TestStreamingJsonlSink:
         sink.finalize(ProbeRecord(probe_id=7, sent_us=0))  # must not raise
         sink.close()
 
+    def test_write_calls_scale_with_flushes_not_records(self, tmp_path):
+        # Buffered lines must land via one write() per flush cycle: for
+        # n records at flush_lines=f that is ceil((n + 1) / f) calls (the
+        # +1 is the meta line), never O(n).
+        n, flush_lines = 1_000, 256
+        path = tmp_path / "t.jsonl"
+        sink = StreamingJsonlSink(path, flush_lines=flush_lines)
+        for i in range(n):
+            sink.emit("probe", ProbeRecord(probe_id=i, sent_us=i))
+        sink.close()
+        assert sink.records_written == n
+        assert sink.write_calls <= -(-(n + 1) // flush_lines)
+        assert len(load_trace(path).probes) == n
+
+    def test_small_runs_flush_once_on_close(self, tmp_path):
+        sink = StreamingJsonlSink(tmp_path / "t.jsonl")
+        for i in range(5):
+            sink.emit("probe", ProbeRecord(probe_id=i, sent_us=i))
+        assert sink.write_calls == 0  # everything still buffered
+        sink.close()
+        assert sink.write_calls == 1  # meta + 5 records, one write()
+
 
 def test_channels_cover_every_trace_family():
     from repro.trace.bus import CHANNEL_FIELDS
