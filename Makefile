@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: check check-full lint lint-cold lint-json lint-sarif lint-changed test smoke smoke-multicall bench bench-trace
+.PHONY: check check-full lint lint-cold lint-json lint-sarif lint-changed test smoke smoke-multicall smoke-cache bench bench-trace bench-cache
 
 check: lint test smoke
 
@@ -38,6 +38,15 @@ smoke:
 smoke-multicall:
 	$(PYTHON) -m repro sweep --smoke --calls 2
 
+# The same smoke sweep twice through a fresh scenario result cache: the
+# second pass must rehydrate every grid point (nonzero hit rate enforced).
+smoke-cache:
+	rm -rf /tmp/athena-smoke-cache
+	$(PYTHON) -m repro sweep --smoke --cache-dir /tmp/athena-smoke-cache
+	$(PYTHON) -m repro sweep --smoke --cache-dir /tmp/athena-smoke-cache \
+		| tee /tmp/athena-smoke-cache.log
+	grep -E "cache: hits=[1-9]" /tmp/athena-smoke-cache.log
+
 bench:
 	$(PYTHON) -m repro bench
 
@@ -45,3 +54,8 @@ bench:
 # (trace_emit >= 2.0x emission, sweep_transport >= 1.5x sweep wall-clock).
 bench-trace:
 	$(PYTHON) -m repro bench --only trace_emit,sweep_transport --check --out /tmp/BENCH_trace.json
+
+# Just the scenario result cache, gated against its committed floor
+# (warm sweep >= 5x cold, cache-hit JSONL byte-identical to fresh runs).
+bench-cache:
+	$(PYTHON) -m repro bench --only scenario_cache --check --out /tmp/BENCH_cache.json

@@ -1,0 +1,286 @@
+"""ATH011 — no mutation of a scenario after it enters a run entry point.
+
+The scenario result cache (:mod:`repro.run.cache`) fingerprints a
+``ScenarioConfig`` at the moment it is handed to a run/sweep entry point;
+the stored result is forever keyed by that snapshot.  Mutating the same
+config object afterwards — rebinding a field, growing ``calls`` in place,
+editing a nested ``CallSpec`` — silently desynchronizes object and
+fingerprint: the next run either misses (wasted simulation) or, worse,
+hits an entry recorded for different semantics.  The safe idioms are
+``dataclasses.replace`` or constructing a fresh config per variant.
+
+The rule tracks, per function scope, every name passed (directly or
+inside a spec list) to ``run_session`` / ``run_batch`` /
+``run_batch_traces`` / ``sweep_grid`` / ``SessionBuilder`` /
+``cached_run_session`` and flags later attribute assignments or in-place
+container mutations rooted at a tracked name.  Loop bodies are checked a
+second time so the classic sweep bug — mutate the shared config at the
+top of the loop, re-run it at the bottom — is caught even though the
+mutation appears textually first.  Rebinding the bare name to a new
+object clears tracking: that is exactly the sanctioned fix.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from ..common import LintContext, dotted_name
+from ..findings import Finding
+from ..registry import Rule, register
+
+#: Callables that fingerprint/seal the scenario objects passed to them.
+ENTRY_POINTS = frozenset({
+    "run_session",
+    "run_batch",
+    "run_batch_traces",
+    "sweep_grid",
+    "SessionBuilder",
+    "cached_run_session",
+})
+
+#: In-place container mutators on attribute chains (``cfg.calls.append``).
+MUTATORS = frozenset({
+    "append", "extend", "insert", "remove", "pop", "clear",
+    "sort", "reverse", "update", "setdefault",
+})
+
+_SCOPE_NODES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+
+
+def _root_name(node: ast.AST) -> Optional[str]:
+    """The base ``Name`` of an attribute/subscript chain, if any."""
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        node = node.value
+    return node.id if isinstance(node, ast.Name) else None
+
+
+def _walk_no_scopes(node: ast.AST) -> Iterator[ast.AST]:
+    """``ast.walk`` that does not descend into nested function scopes."""
+    stack: List[ast.AST] = [node]
+    while stack:
+        current = stack.pop()
+        yield current
+        for child in ast.iter_child_nodes(current):
+            if isinstance(child, _SCOPE_NODES):
+                continue
+            stack.append(child)
+
+
+def _value_names(node: ast.AST, imports: Dict[str, str]) -> Set[str]:
+    """Names ``node`` makes reachable: value position, not call targets.
+
+    Subtrees under a ``dataclasses.replace(...)`` call are excluded — the
+    runner sees a *copy*, so the original name is not sealed by the pass
+    (``replace`` per variant is exactly the idiom the hint recommends).
+    """
+    names: Set[str] = set()
+    stack: List[ast.AST] = [node]
+    while stack:
+        current = stack.pop()
+        if isinstance(current, _SCOPE_NODES):
+            continue
+        if isinstance(current, ast.Call):
+            target = dotted_name(current.func, imports)
+            if target and target.split(".")[-1] == "replace":
+                continue
+            for child in ast.iter_child_nodes(current):
+                if child is current.func and isinstance(child, ast.Name):
+                    continue
+                stack.append(child)
+            continue
+        if isinstance(current, ast.Name):
+            names.add(current.id)
+        stack.extend(ast.iter_child_nodes(current))
+    return names
+
+
+@register
+class ConfigMutationRule(Rule):
+    """Flag scenario mutation after a run/sweep entry point saw the object."""
+
+    id = "ATH011"
+    name = "config-mutation-after-run"
+    summary = "mutating a scenario after a run entry point poisons its cache key"
+    hint = (
+        "build a fresh ScenarioConfig (or dataclasses.replace) per variant "
+        "instead of mutating one already passed to a runner"
+    )
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        if ctx.exempt(self.id):
+            return
+        findings: List[Tuple[int, int, str]] = []
+        seen: Set[Tuple[int, int]] = set()
+        self._scan_scope(ctx, ctx.tree.body, findings, seen)
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._scan_scope(ctx, node.body, findings, seen)
+        for lineno, col, message in sorted(findings):
+            yield self.finding(ctx, lineno, col, message)
+
+    # -- one lexical scope -------------------------------------------------
+    def _scan_scope(
+        self,
+        ctx: LintContext,
+        body: Sequence[ast.stmt],
+        findings: List[Tuple[int, int, str]],
+        seen: Set[Tuple[int, int]],
+    ) -> None:
+        tracked: Dict[str, int] = {}  # name -> lineno of the sealing call
+        # name -> names embedded in the value it was last bound to, so
+        # sealing a config also seals a CallSpec built into its ``calls``.
+        self._embedded: Dict[str, Set[str]] = {}
+        self._scan_block(ctx, body, tracked, findings, seen)
+
+    def _scan_block(
+        self,
+        ctx: LintContext,
+        stmts: Sequence[ast.stmt],
+        tracked: Dict[str, int],
+        findings: List[Tuple[int, int, str]],
+        seen: Set[Tuple[int, int]],
+    ) -> None:
+        for stmt in stmts:
+            self._scan_stmt(ctx, stmt, tracked, findings, seen)
+
+    def _scan_stmt(
+        self,
+        ctx: LintContext,
+        stmt: ast.stmt,
+        tracked: Dict[str, int],
+        findings: List[Tuple[int, int, str]],
+        seen: Set[Tuple[int, int]],
+    ) -> None:
+        if isinstance(stmt, _SCOPE_NODES + (ast.ClassDef,)):
+            return  # nested scopes are scanned independently
+        if isinstance(stmt, (ast.For, ast.AsyncFor, ast.While)):
+            header = stmt.iter if hasattr(stmt, "iter") else stmt.test
+            self._check_exprs(ctx, [header], tracked, findings, seen)
+            before = dict(tracked)
+            self._scan_block(ctx, stmt.body, tracked, findings, seen)
+            self._scan_block(ctx, stmt.orelse, tracked, findings, seen)
+            if tracked.keys() - before.keys():
+                # A name sealed inside the loop is sealed for the *next*
+                # iteration too: re-check the body with the final set.
+                self._scan_block(ctx, stmt.body, tracked, findings, seen)
+            return
+        if isinstance(stmt, ast.If):
+            self._check_exprs(ctx, [stmt.test], tracked, findings, seen)
+            self._scan_block(ctx, stmt.body, tracked, findings, seen)
+            self._scan_block(ctx, stmt.orelse, tracked, findings, seen)
+            return
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            items = [item.context_expr for item in stmt.items]
+            self._check_exprs(ctx, items, tracked, findings, seen)
+            self._scan_block(ctx, stmt.body, tracked, findings, seen)
+            return
+        if isinstance(stmt, ast.Try):
+            self._scan_block(ctx, stmt.body, tracked, findings, seen)
+            for handler in stmt.handlers:
+                self._scan_block(ctx, handler.body, tracked, findings, seen)
+            self._scan_block(ctx, stmt.orelse, tracked, findings, seen)
+            self._scan_block(ctx, stmt.finalbody, tracked, findings, seen)
+            return
+        # Simple statement: flag mutations of tracked names, then record
+        # names this statement seals, then clear rebound names.
+        self._check_mutations(ctx, stmt, tracked, findings, seen)
+        self._check_exprs(ctx, [stmt], tracked, findings, seen)
+        if isinstance(stmt, (ast.Assign, ast.AnnAssign)):
+            targets = stmt.targets if isinstance(stmt, ast.Assign) else [stmt.target]
+            value = stmt.value
+            for target in targets:
+                elts = target.elts if isinstance(target, ast.Tuple) else [target]
+                for elt in elts:
+                    if isinstance(elt, ast.Name):
+                        tracked.pop(elt.id, None)
+                        self._embedded[elt.id] = (
+                            _value_names(value, ctx.imports)
+                            if value is not None
+                            else set()
+                        )
+
+    def _check_exprs(
+        self,
+        ctx: LintContext,
+        roots: Sequence[Optional[ast.AST]],
+        tracked: Dict[str, int],
+        findings: List[Tuple[int, int, str]],
+        seen: Set[Tuple[int, int]],
+    ) -> None:
+        """Record names sealed by entry-point calls under ``roots``."""
+        for root in roots:
+            if root is None:
+                continue
+            for node in _walk_no_scopes(root):
+                if not isinstance(node, ast.Call):
+                    continue
+                target = dotted_name(node.func, ctx.imports)
+                if not target or target.split(".")[-1] not in ENTRY_POINTS:
+                    continue
+                args: List[ast.AST] = list(node.args)
+                args += [kw.value for kw in node.keywords if kw.value is not None]
+                sealed: List[str] = []
+                for arg in args:
+                    sealed.extend(sorted(_value_names(arg, ctx.imports)))
+                # Seal transitively: names embedded in a sealed value are
+                # reachable from the fingerprint too.
+                while sealed:
+                    name = sealed.pop()
+                    if name in tracked:
+                        continue
+                    tracked[name] = node.lineno
+                    sealed.extend(sorted(self._embedded.get(name, ())))
+
+    def _check_mutations(
+        self,
+        ctx: LintContext,
+        stmt: ast.stmt,
+        tracked: Dict[str, int],
+        findings: List[Tuple[int, int, str]],
+        seen: Set[Tuple[int, int]],
+    ) -> None:
+        targets: List[ast.AST] = []
+        if isinstance(stmt, ast.Assign):
+            targets = list(stmt.targets)
+        elif isinstance(stmt, (ast.AugAssign, ast.AnnAssign)):
+            targets = [stmt.target]
+        for target in targets:
+            elts = target.elts if isinstance(target, ast.Tuple) else [target]
+            for elt in elts:
+                if not isinstance(elt, (ast.Attribute, ast.Subscript)):
+                    continue
+                root = _root_name(elt)
+                if root in tracked:
+                    self._emit(
+                        ctx, elt, findings, seen,
+                        f"`{root}` mutated after being passed to a run "
+                        f"entry point on line {tracked[root]}",
+                    )
+        for node in _walk_no_scopes(stmt):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not isinstance(func, ast.Attribute) or func.attr not in MUTATORS:
+                continue
+            root = _root_name(func.value)
+            if root in tracked:
+                self._emit(
+                    ctx, node, findings, seen,
+                    f"`{root}.…{func.attr}()` mutates a scenario already "
+                    f"passed to a run entry point on line {tracked[root]}",
+                )
+
+    def _emit(
+        self,
+        ctx: LintContext,
+        node: ast.AST,
+        findings: List[Tuple[int, int, str]],
+        seen: Set[Tuple[int, int]],
+        message: str,
+    ) -> None:
+        key = (node.lineno, node.col_offset)
+        if key in seen:
+            return
+        seen.add(key)
+        findings.append((node.lineno, node.col_offset, message))

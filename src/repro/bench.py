@@ -31,6 +31,11 @@ Four benchmarks, each timed with a warmup pass and min-of-N repetitions
 * ``sweep_transport`` — full-trace sweep collection at ``--jobs 4``:
   warm-pool workers returning compact columnar payloads vs the legacy
   fork-per-sweep pool returning pickled ``Trace`` record graphs.
+* ``scenario_cache`` — a 3-seed × {5g,emulated} sweep through the
+  content-addressed scenario result store: cold (every point simulated
+  and stored) vs warm (every point rehydrated from ATHC1 payloads).  The
+  pass gate also requires the cache-hit trace to serialize byte-identical
+  JSONL to a fresh simulation of the same scenario.
 
 Results are written to ``BENCH_perf.json`` (see README for the format).
 This module is exempt from ATH001: measuring wall-clock time is its job.
@@ -68,6 +73,9 @@ STREAMING_MAX_PEAK_RATIO = 0.8
 TRACE_EMIT_MIN_SPEEDUP = 2.0
 #: Warm-pool columnar-payload sweep vs the fork-per-sweep pickled-Trace one.
 SWEEP_TRANSPORT_MIN_SPEEDUP = 1.5
+#: Warm (all cache hits) sweep vs cold (all simulated) through the
+#: content-addressed scenario result store.
+SCENARIO_CACHE_MIN_SPEEDUP = 5.0
 
 
 def _best_of(fn: Callable[[], float], reps: int) -> float:
@@ -569,6 +577,96 @@ def _noop_task(_: int) -> None:
 
 
 # ---------------------------------------------------------------------------
+# scenario result cache
+
+
+def bench_scenario_cache(
+    duration_s: float = 2.0, reps: int = 2
+) -> Dict[str, object]:
+    """Warm vs cold 3-seed × {5g,emulated} sweep through the result store.
+
+    The cold side simulates (and stores) every grid point; the warm side
+    reopens the cache from disk and rehydrates every point from its ATHC1
+    columnar payload.  Runs at ``jobs=1`` so the ratio measures simulation
+    vs rehydration, not pool scheduling.  Correctness rides along: a
+    cache-hit trace must serialize to byte-identical JSONL as a fresh
+    in-process simulation of the same scenario, for one 5G and one
+    emulated point.
+    """
+    import filecmp
+    import os
+    import shutil
+    import tempfile
+
+    from .run.batch import collect_qoe, run_batch, sweep_grid
+    from .run.builder import run_session
+    from .run.cache import ScenarioCache
+    from .trace.io import save_trace
+
+    base = ScenarioConfig(duration_s=duration_s, record_tbs=False)
+    specs = sweep_grid(
+        base, [7, 8, 9],
+        {"5g": {"access": "5g"}, "emulated": {"access": "emulated"}},
+    )
+    tmp_dir = tempfile.mkdtemp(prefix="bench_cache_")
+    cache_dir = os.path.join(tmp_dir, "cache")
+
+    def cold_sweep() -> float:
+        # Reset outside the timed region: the measured cost is simulate +
+        # store, not directory teardown.
+        shutil.rmtree(cache_dir, ignore_errors=True)
+        cache = ScenarioCache(cache_dir=cache_dir)
+        t0 = perf_counter()
+        run_batch(specs, collect=collect_qoe, jobs=1, cache=cache)
+        elapsed_s = perf_counter() - t0
+        assert cache.misses == len(specs), "cold sweep must simulate all"
+        return elapsed_s
+
+    def warm_sweep() -> float:
+        # A fresh instance re-reads the on-disk index, like a new process.
+        cache = ScenarioCache(cache_dir=cache_dir)
+        t0 = perf_counter()
+        run_batch(specs, collect=collect_qoe, jobs=1, cache=cache)
+        elapsed_s = perf_counter() - t0
+        assert cache.hits == len(specs), "warm sweep must hit every point"
+        return elapsed_s
+
+    try:
+        cold_s = _best_of(cold_sweep, reps)
+        # The last cold pass left the store populated; every warm pass
+        # (including _best_of's warmup) must be all hits.
+        warm_s = _best_of(warm_sweep, reps)
+
+        # Byte-identity oracle: hit JSONL == fresh-simulation JSONL.
+        cache = ScenarioCache(cache_dir=cache_dir)
+        identical = True
+        for probe in (specs[0], specs[-1]):
+            hit = cache.get_result(probe.config)
+            assert hit is not None
+            fresh_path = os.path.join(tmp_dir, "fresh.jsonl")
+            hit_path = os.path.join(tmp_dir, "hit.jsonl")
+            save_trace(run_session(probe.config).trace, fresh_path)
+            save_trace(hit.trace, hit_path)
+            identical = identical and filecmp.cmp(
+                fresh_path, hit_path, shallow=False
+            )
+    finally:
+        shutil.rmtree(tmp_dir, ignore_errors=True)
+
+    speedup = cold_s / warm_s
+    return {
+        "duration_s": duration_s,
+        "grid_points": len(specs),
+        "cold_best_s": cold_s,
+        "warm_best_s": warm_s,
+        "bytes_identical": identical,
+        "speedup": speedup,
+        "min_speedup": SCENARIO_CACHE_MIN_SPEEDUP,
+        "pass": speedup >= SCENARIO_CACHE_MIN_SPEEDUP and identical,
+    }
+
+
+# ---------------------------------------------------------------------------
 # fig 7 macro benchmark
 
 
@@ -617,6 +715,9 @@ def _register_benchmarks() -> None:
         "sweep_transport": (
             "sweep_transport", bench_sweep_transport,
             "sweep transport (columnar payloads vs pickled traces)"),
+        "scenario_cache": (
+            "scenario_cache", bench_scenario_cache,
+            "scenario result cache (warm hits vs cold simulation)"),
     })
 
 
@@ -650,6 +751,7 @@ def run_bench(
             "sweep_transport": dict(
                 tasks=4, n_packets=1_500, jobs=4, reps=reps or 1
             ),
+            "scenario_cache": dict(duration_s=1.0, reps=reps or 1),
         }
     else:
         plan = {
@@ -663,6 +765,7 @@ def run_bench(
             "sweep_transport": dict(
                 tasks=8, n_packets=4_000, jobs=4, reps=reps or 2
             ),
+            "scenario_cache": dict(duration_s=2.0, reps=reps or 2),
         }
 
     selected = list(BENCHMARKS)
@@ -688,7 +791,7 @@ def run_bench(
 
     checks: List[str] = []
     for key in ("full_stack_1s", "idle_heavy_60s", "trace_emit",
-                "sweep_transport"):
+                "sweep_transport", "scenario_cache"):
         if key not in results:
             continue
         entry = results[key]

@@ -16,6 +16,34 @@ import sys
 from typing import Callable, Dict
 
 
+def _make_cache(args: argparse.Namespace):
+    """Build the scenario cache selected by --cache/--no-cache/--cache-dir."""
+    if not getattr(args, "cache", True):
+        return None
+    from .run.cache import DEFAULT_CACHE_DIR, ScenarioCache
+
+    return ScenarioCache(cache_dir=args.cache_dir or DEFAULT_CACHE_DIR)
+
+
+def _print_cache_stats(cache) -> None:
+    if cache is None:
+        return
+    stats = cache.stats()
+    print(f"cache: hits={stats['hits']} misses={stats['misses']} "
+          f"entries={stats['entries']}")
+
+
+def _add_cache_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--cache", dest="cache", action="store_true",
+                        default=True,
+                        help="reuse cached scenario results (default)")
+    parser.add_argument("--no-cache", dest="cache", action="store_false",
+                        help="always re-simulate; don't touch the cache")
+    parser.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="scenario cache directory "
+                             "(default: .athena-cache)")
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     from .app import ScenarioConfig, run_session
     from .phy.params import CrossTrafficConfig, CrossTrafficPhase
@@ -74,7 +102,10 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
 
 def _cmd_figure(args: argparse.Namespace) -> int:
     from . import experiments
+    from .experiments.common import set_experiment_cache
 
+    cache = _make_cache(args)
+    set_experiment_cache(cache)
     runners: Dict[str, Callable] = {
         "fig3": lambda: experiments.run_fig3(duration_s=args.duration or 60.0),
         "fig4": lambda: experiments.run_fig4(duration_s=args.duration or 60.0),
@@ -110,6 +141,8 @@ def _cmd_figure(args: argparse.Namespace) -> int:
         written = export_figure_data(result, args.export)
         for path in written:
             print(f"wrote {path}")
+    _print_cache_stats(cache)
+    set_experiment_cache(None)
     return 0
 
 
@@ -118,7 +151,10 @@ def _cmd_reproduce_all(args: argparse.Namespace) -> int:
 
     from . import experiments
     from .experiments import export_figure_data
+    from .experiments.common import set_experiment_cache
 
+    cache = _make_cache(args)
+    set_experiment_cache(cache)
     out_dir = Path(args.out)
     out_dir.mkdir(parents=True, exist_ok=True)
     scale = args.scale
@@ -158,6 +194,8 @@ def _cmd_reproduce_all(args: argparse.Namespace) -> int:
     report_path = out_dir / "REPORT.md"
     report_path.write_text("\n".join(report_lines), encoding="utf-8")
     print(f"\nWrote {report_path}")
+    _print_cache_stats(cache)
+    set_experiment_cache(None)
     return 0
 
 
@@ -180,6 +218,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     if args.smoke or args.name is None:
         return _sweep_seed_grid(args)
     from . import experiments
+    from .experiments.common import set_experiment_cache
 
     sweeps: Dict[str, Callable] = {
         "proactive": experiments.sweep_proactive,
@@ -194,7 +233,13 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         print(f"unknown sweep {args.name!r}; choose from "
               f"{', '.join(sorted(sweeps))}", file=sys.stderr)
         return 2
-    print(sweep(duration_s=args.duration or 20.0, jobs=args.jobs).summary())
+    cache = _make_cache(args)
+    set_experiment_cache(cache)
+    try:
+        print(sweep(duration_s=args.duration or 20.0, jobs=args.jobs).summary())
+    finally:
+        set_experiment_cache(None)
+    _print_cache_stats(cache)
     return 0
 
 
@@ -205,6 +250,7 @@ def _sweep_seed_grid(args: argparse.Namespace) -> int:
     from .run.batch import collect_call_summaries
     from .run.scenario import CallSpec, ScenarioConfig
 
+    cache = _make_cache(args)
     if args.smoke:
         # CI smoke: a 2×2 grid of very short runs exercising both access
         # kinds end to end through the multi-process executor.
@@ -244,7 +290,8 @@ def _sweep_seed_grid(args: argparse.Namespace) -> int:
                 run
                 for phase in phases
                 for run in run_batch(
-                    phase, collect=collect_call_summaries, executor=ex
+                    phase, collect=collect_call_summaries, executor=ex,
+                    cache=cache,
                 )
             ]
         rows = [
@@ -262,12 +309,15 @@ def _sweep_seed_grid(args: argparse.Namespace) -> int:
             ["run", "packets", "bitrate (kbps, p50)", "fps (p50)", "stalls"],
             rows,
         ))
+        _print_cache_stats(cache)
         return 0
     with BatchExecutor(jobs=args.jobs) as ex:
         runs = [
             run
             for phase in phases
-            for run in run_batch(phase, collect=collect_summary, executor=ex)
+            for run in run_batch(
+                phase, collect=collect_summary, executor=ex, cache=cache
+            )
         ]
     rows = [
         [
@@ -285,6 +335,23 @@ def _sweep_seed_grid(args: argparse.Namespace) -> int:
          "frames diagnosed"],
         rows,
     ))
+    _print_cache_stats(cache)
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    from .run.cache import DEFAULT_CACHE_DIR, ScenarioCache
+
+    cache = ScenarioCache(cache_dir=args.cache_dir or DEFAULT_CACHE_DIR)
+    if args.action == "clear":
+        removed = cache.clear()
+        print(f"cleared {removed} cached scenario results from {cache.root}")
+        return 0
+    stats = cache.stats()
+    print(f"dir:      {stats['dir']}")
+    print(f"entries:  {stats['entries']}")
+    print(f"bytes:    {stats['total_bytes']} / {stats['max_bytes']}")
+    print(f"salt:     {stats['salt']}")
     return 0
 
 
@@ -330,6 +397,7 @@ def build_parser() -> argparse.ArgumentParser:
     figure.add_argument("--duration", type=float, default=None)
     figure.add_argument("--export", default=None, metavar="DIR",
                         help="write the figure's data series as CSVs")
+    _add_cache_flags(figure)
     figure.set_defaults(fn=_cmd_figure)
 
     everything = sub.add_parser(
@@ -339,13 +407,14 @@ def build_parser() -> argparse.ArgumentParser:
     everything.add_argument("--out", default="reproduction")
     everything.add_argument("--scale", type=float, default=1.0,
                             help="duration multiplier toward paper scale")
+    _add_cache_flags(everything)
     everything.set_defaults(fn=_cmd_reproduce_all)
 
     # `lint` is dispatched before argparse in main() so the analyzer owns its
     # whole argument vector; registered here only so -h lists it.
     sub.add_parser(
         "lint",
-        help="run athena-lint (determinism & unit-safety rules ATH001-ATH009)",
+        help="run athena-lint (determinism & unit-safety rules ATH001-ATH011)",
         add_help=False,
     )
 
@@ -387,7 +456,18 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--calls", type=int, default=None, metavar="N",
                        help="grid mode: N concurrent calls per cell "
                             "(per-call QoE rows)")
+    _add_cache_flags(sweep)
     sweep.set_defaults(fn=_cmd_sweep)
+
+    cache = sub.add_parser(
+        "cache",
+        help="inspect or clear the content-addressed scenario result cache",
+    )
+    cache.add_argument("action", choices=("stats", "clear"))
+    cache.add_argument("--cache-dir", default=None, metavar="DIR",
+                       help="scenario cache directory "
+                            "(default: .athena-cache)")
+    cache.set_defaults(fn=_cmd_cache)
     return parser
 
 

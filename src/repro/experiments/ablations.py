@@ -23,7 +23,7 @@ from ..run.batch import RunSpec, run_batch
 from ..run.scenario import ScenarioConfig, SessionResult
 from ..sim.units import ms, us_to_ms
 from ..trace.schema import CapturePoint
-from .common import idle_cell_scenario
+from .common import experiment_cache, idle_cell_scenario
 
 
 @dataclass
@@ -89,6 +89,7 @@ def _sweep(
         [RunSpec(label, config) for label, config in labeled],
         collect=collect_ablation_point,
         jobs=jobs,
+        cache=experiment_cache(),
     )
     result = AblationResult(name=name)
     for run in runs:

@@ -7,11 +7,51 @@ to run at paper scale.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Optional, Sequence, Union
 
-from ..app.session import ScenarioConfig
+from ..app.session import ScenarioConfig, SessionResult, run_session
 from ..phy.params import CrossTrafficConfig, CrossTrafficPhase, RanConfig
+from ..run.cache import CachedSessionResult, ScenarioCache
 from ..sim.units import seconds
+
+#: Process-wide scenario cache shared by every figure script in one
+#: ``reproduce-all`` invocation, so figures that run the same baseline
+#: scenario (idle cell, phased cross traffic, ...) simulate it once.
+_EXPERIMENT_CACHE: Optional[ScenarioCache] = None
+
+
+def set_experiment_cache(cache: Optional[ScenarioCache]) -> None:
+    """Install (or clear with ``None``) the shared figure-script cache."""
+    global _EXPERIMENT_CACHE
+    _EXPERIMENT_CACHE = cache
+
+
+def experiment_cache() -> Optional[ScenarioCache]:
+    """The currently installed shared cache, if any."""
+    return _EXPERIMENT_CACHE
+
+
+def cached_run_session(
+    config: ScenarioConfig,
+) -> Union[SessionResult, CachedSessionResult]:
+    """``run_session`` through the shared experiment cache when installed.
+
+    With no cache installed this is exactly ``run_session(config)``.  With a
+    cache, hits rehydrate the stored columnar payload and misses simulate,
+    store, and return the live result.  Figure scripts that only read the
+    result's data surface (``trace``/``summary``/``diagnosis``/``qoe``) can
+    use this as a drop-in replacement.
+    """
+    cache = _EXPERIMENT_CACHE
+    if cache is None:
+        return run_session(config)
+    hit = cache.get_result(config)
+    if hit is not None:
+        return hit
+    result = run_session(config)
+    cache.put_result(config, result)
+    cache.save()
+    return result
 
 
 def idle_cell_scenario(

@@ -25,6 +25,7 @@ import numpy as np
 from ..core.report import format_table
 from ..phy.params import RanConfig
 from ..run.batch import RunSpec, collect_call_summaries, run_batch
+from .common import experiment_cache
 from ..run.scenario import CallSpec, ScenarioConfig
 
 
@@ -142,7 +143,9 @@ def run_ext_contention(
                     ),
                 )
             )
-    runs = run_batch(specs, collect=collect_call_summaries, jobs=jobs)
+    runs = run_batch(
+        specs, collect=collect_call_summaries, jobs=jobs, cache=experiment_cache()
+    )
     baseline: List[ContentionPoint] = []
     aware: List[ContentionPoint] = []
     for spec, run in zip(specs, runs):

@@ -17,13 +17,12 @@ from typing import Dict, List
 
 import numpy as np
 
-from ..app.session import run_session
 from ..cc.base import PacketArrival
 from ..cc.gcc import GccConfig, GccEstimator
 from ..core.report import format_table
 from ..phy.params import RanConfig
 from ..trace.schema import CapturePoint
-from .common import idle_cell_scenario
+from .common import cached_run_session, idle_cell_scenario
 
 
 @dataclass
@@ -89,7 +88,7 @@ def run_ext_gcc_contexts(
     }
     result = ExtGccContextsResult()
     for label, ran in contexts.items():
-        session = run_session(
+        session = cached_run_session(
             idle_cell_scenario(duration_s=duration_s, seed=seed, ran=ran,
                                record_tbs=False)
         )

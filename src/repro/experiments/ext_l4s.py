@@ -17,12 +17,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Tuple
 
-from ..app.session import run_session
 from ..core.report import format_table
 from ..mitigation.l4s import EcnMarker, L4sRateController, sojourn_of
 from ..sim.units import TimeUs, ms
 from ..trace.schema import CapturePoint
-from .common import idle_cell_scenario
+from .common import cached_run_session, idle_cell_scenario
 
 
 @dataclass
@@ -76,7 +75,7 @@ def run_ext_l4s(
     """Compare naive vs telemetry-aware CE marking on an idle cell."""
     config = idle_cell_scenario(duration_s=duration_s, seed=seed,
                                 fixed_bitrate_kbps=900.0, record_tbs=False)
-    result = run_session(config)
+    result = cached_run_session(config)
 
     naive_marker = EcnMarker(threshold_us=ms(threshold_ms))
     aware_marker = EcnMarker(threshold_us=ms(threshold_ms),

@@ -14,10 +14,9 @@ from typing import Dict, List, Tuple
 
 import numpy as np
 
-from ..app.session import run_session
 from ..core.api import AthenaSession
 from ..core.report import distribution_table
-from .common import cross_traffic_scenario
+from .common import cached_run_session, cross_traffic_scenario
 
 
 @dataclass
@@ -57,6 +56,6 @@ def run_fig3(duration_s: float = 80.0, seed: int = 7) -> Fig3Result:
     """Regenerate Fig 3's three delay series."""
     config = cross_traffic_scenario(duration_s=duration_s, seed=seed,
                                     record_tbs=False)
-    result = run_session(config)
+    result = cached_run_session(config)
     athena = AthenaSession(result.trace)
     return Fig3Result(series=athena.owd_timeseries())

@@ -13,10 +13,9 @@ from typing import Dict, List
 
 import numpy as np
 
-from ..app.session import run_session
 from ..core.api import AthenaSession
 from ..core.report import distribution_table
-from .common import cross_traffic_scenario
+from .common import cached_run_session, cross_traffic_scenario
 
 
 @dataclass
@@ -49,7 +48,7 @@ def run_fig4(duration_s: float = 80.0, seed: int = 7) -> Fig4Result:
     """Regenerate Fig 4's audio/video RAN-delay CDFs."""
     config = cross_traffic_scenario(duration_s=duration_s, seed=seed,
                                     record_tbs=False)
-    result = run_session(config)
+    result = cached_run_session(config)
     athena = AthenaSession(result.trace)
     by_media = athena.ran_delay_by_media()
     return Fig4Result(audio_ms=by_media["audio"], video_ms=by_media["video"])

@@ -13,11 +13,10 @@ from typing import List, Tuple
 
 import numpy as np
 
-from ..app.session import run_session
 from ..core.api import AthenaSession
 from ..core.report import distribution_table
 from ..trace.schema import CapturePoint
-from .common import idle_cell_scenario
+from .common import cached_run_session, idle_cell_scenario
 
 
 @dataclass
@@ -51,7 +50,7 @@ def run_fig5(duration_s: float = 40.0, seed: int = 7) -> Fig5Result:
     """Regenerate Fig 5's spread CDFs on an otherwise idle cell."""
     config = idle_cell_scenario(duration_s=duration_s, seed=seed,
                                 record_tbs=False)
-    result = run_session(config)
+    result = cached_run_session(config)
     athena = AthenaSession(result.trace)
     sender = athena.delay_spread_cdf(CapturePoint.SENDER)
     core = athena.delay_spread_cdf(CapturePoint.CORE)

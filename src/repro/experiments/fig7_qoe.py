@@ -16,7 +16,7 @@ from ..core.report import format_table
 from ..media.quality import QoeSummary, percentile
 from ..phy.ran import nominal_ul_capacity_kbps
 from ..run.batch import RunSpec, collect_qoe, run_batch
-from .common import cross_traffic_scenario, emulated_scenario
+from .common import cross_traffic_scenario, emulated_scenario, experiment_cache
 
 
 @dataclass
@@ -97,6 +97,7 @@ def run_fig7(
         [RunSpec("5g", config_5g), RunSpec("emulated", config_emu)],
         collect=collect_qoe,
         jobs=jobs,
+        cache=experiment_cache(),
     )
     return Fig7Result(
         qoe_5g=runs[0].value,

@@ -15,13 +15,12 @@ from typing import List, Optional
 
 import numpy as np
 
-from ..app.session import run_session
 from ..core.api import AthenaSession, SchedulingTimeline
 from ..core.report import format_table
 from ..phy.params import RanConfig
 from ..sim.units import ms, seconds, us_to_ms
 from ..trace.schema import CapturePoint, MediaKind, TbKind
-from .common import idle_cell_scenario
+from .common import cached_run_session, idle_cell_scenario
 
 
 @dataclass
@@ -109,7 +108,7 @@ def run_fig9a(duration_s: float = 20.0, seed: int = 7) -> Fig9aResult:
     )
     config.ran.base_bler = 0.0  # isolate scheduling from HARQ
     config.ran.retx_bler = 0.0
-    result = run_session(config)
+    result = cached_run_session(config)
     athena = AthenaSession(result.trace)
     start, end = _find_burst_window(athena)
     timeline = athena.scheduling_timeline(start, end)
@@ -142,7 +141,7 @@ def run_fig9b(
         fixed_bitrate_kbps=900.0,
         record_tbs=True,
     )
-    result = run_session(config)
+    result = cached_run_session(config)
     athena = AthenaSession(result.trace)
     start, end = _find_burst_window(athena)
     timeline = athena.scheduling_timeline(start, end + ms(40.0))

@@ -10,12 +10,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..app.session import run_session
 from ..cc.base import PacketArrival
 from ..core.report import format_table
 from ..mitigation.ran_aware_cc import MaskingComparison, compare_masking
 from ..trace.schema import CapturePoint
-from .common import idle_cell_scenario
+from .common import cached_run_session, idle_cell_scenario
 
 
 @dataclass
@@ -42,7 +41,7 @@ def run_sec53(duration_s: float = 60.0, seed: int = 7) -> Sec53Result:
     """Compare GCC with and without PHY-delay masking on an idle cell."""
     config = idle_cell_scenario(duration_s=duration_s, seed=seed,
                                 record_tbs=False)
-    result = run_session(config)
+    result = cached_run_session(config)
     arrivals = []
     for packet in result.trace.packets:
         send = packet.capture_at(CapturePoint.SENDER)

@@ -19,6 +19,13 @@ from .batch import (
     run_batch_traces,
     sweep_grid,
 )
+from .cache import (
+    DEFAULT_CACHE_DIR,
+    CachedSessionResult,
+    ScenarioCache,
+    code_version_token,
+    scenario_fingerprint,
+)
 from .builder import (
     DEFAULT_PIPELINE,
     CallContext,
@@ -49,6 +56,7 @@ from .scenario import (
 __all__ = [
     "BatchExecutor",
     "BatchRun",
+    "CachedSessionResult",
     "CallContext",
     "CallResult",
     "CallSpec",
@@ -56,9 +64,11 @@ __all__ = [
     "KNOWN_ACCESS",
     "KNOWN_CHANNELS",
     "KNOWN_ESTIMATORS",
+    "DEFAULT_CACHE_DIR",
     "KNOWN_TRACE_BACKENDS",
     "MONITORED_UE_ID",
     "RunSpec",
+    "ScenarioCache",
     "ScenarioConfig",
     "SessionBuilder",
     "SessionContext",
@@ -66,9 +76,11 @@ __all__ = [
     "collect_call_summaries",
     "collect_qoe",
     "collect_summary",
+    "code_version_token",
     "collect_trace",
     "collect_trace_payload",
     "default_sink",
+    "scenario_fingerprint",
     "make_channel",
     "make_estimator",
     "register_access",

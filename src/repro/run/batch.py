@@ -18,6 +18,7 @@ the result to what the caller needs (a QoE summary, a trace, a stats row).
 
 from __future__ import annotations
 
+import atexit
 import os
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, replace
@@ -26,6 +27,12 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 from ..media.quality import QoeSummary
 from ..trace.schema import Trace
 from .builder import run_session
+from .cache import (
+    ScenarioCache,
+    cache_entry_from_result,
+    rehydrate_result,
+    scenario_fingerprint,
+)
 from .scenario import ScenarioConfig, SessionResult
 
 Collector = Callable[[SessionResult], Any]
@@ -182,6 +189,18 @@ def _run_one(task: Tuple[RunSpec, Collector]) -> Any:
     return collect(run_session(spec.config))
 
 
+def _run_cache_entry(config: ScenarioConfig) -> Tuple[bytes, bytes]:
+    """Worker for cache-backed batches: simulate, return the cache value.
+
+    The worker ships ``(ATHC1 payload, pickled summary)`` — the columnar
+    transport PR 9 made cheap — and the *parent* stores the entry and
+    applies the collector to the rehydrated result, so cache hits and
+    misses flow through the identical rehydration path (and the collector
+    need not be picklable).
+    """
+    return cache_entry_from_result(run_session(config))
+
+
 class BatchExecutor:
     """A reusable warm worker pool for multi-phase sweeps.
 
@@ -211,7 +230,14 @@ class BatchExecutor:
         tasks: Sequence[Any],
         chunksize: Optional[int] = None,
     ) -> List[Any]:
-        """Order-preserving map over ``tasks`` on the warm pool."""
+        """Order-preserving map over ``tasks`` on the warm pool.
+
+        If draining the results raises — a worker exception, or a collect
+        callback failing mid-batch — the pool is shut down before the
+        exception propagates: a warm pool held across sweep phases must
+        not leak its worker processes past a failed phase.  The next
+        :meth:`map` call lazily forks a fresh pool.
+        """
         self.phases_run += 1
         if self.jobs == 1 or len(tasks) <= 1:
             return [fn(task) for task in tasks]
@@ -219,18 +245,53 @@ class BatchExecutor:
             chunksize = _adaptive_chunksize(len(tasks), self.jobs)
         if self._pool is None:
             self._pool = ProcessPoolExecutor(max_workers=self.jobs)
-        return list(self._pool.map(fn, tasks, chunksize=chunksize))
+            # Warm pools survive between phases by design; make sure an
+            # abandoned executor (no close()/with) still tears down its
+            # workers at interpreter exit instead of leaking them.
+            atexit.register(self.close)
+        try:
+            return list(self._pool.map(fn, tasks, chunksize=chunksize))
+        except BaseException:
+            self.close()
+            raise
 
     def close(self) -> None:
         if self._pool is not None:
             self._pool.shutdown()
             self._pool = None
+            try:
+                atexit.unregister(self.close)
+            except Exception:
+                pass
 
     def __enter__(self) -> "BatchExecutor":
         return self
 
     def __exit__(self, *exc_info: object) -> None:
         self.close()
+
+
+def _map_tasks(
+    fn: Callable[[Any], Any],
+    tasks: Sequence[Any],
+    jobs: Optional[int],
+    executor: Optional[BatchExecutor],
+    chunksize: Optional[int],
+) -> List[Any]:
+    """Dispatch ``tasks`` through the warm pool, a fresh pool, or in-process."""
+    if executor is not None:
+        return executor.map(fn, tasks, chunksize=chunksize)
+    if jobs is None:
+        jobs = os.cpu_count() or 1
+    jobs = max(1, min(jobs, len(tasks) or 1))
+    if jobs == 1:
+        return [fn(task) for task in tasks]
+    if chunksize is None:
+        chunksize = _adaptive_chunksize(len(tasks), jobs)
+    with ProcessPoolExecutor(max_workers=jobs) as pool:
+        # Executor.map preserves input order regardless of completion
+        # order, which is what keeps batches drop-in for serial loops.
+        return list(pool.map(fn, tasks, chunksize=chunksize))
 
 
 def run_batch(
@@ -240,6 +301,8 @@ def run_batch(
     *,
     executor: Optional[BatchExecutor] = None,
     chunksize: Optional[int] = None,
+    cache: Optional[ScenarioCache] = None,
+    dedup: bool = True,
 ) -> List[BatchRun]:
     """Execute every spec and return collected outputs in spec order.
 
@@ -249,27 +312,72 @@ def run_batch(
     defaults to the adaptive :func:`_adaptive_chunksize` split.  Passing a
     warm :class:`BatchExecutor` as ``executor`` reuses its worker pool
     instead of forking a fresh one (``jobs`` is then ignored).
+
+    ``dedup`` (on by default) collapses specs whose *fully-resolved*
+    scenarios are identical — an N-seed × toggle grid where some variants
+    coincide simulates each unique point once and fans the collected value
+    back out to every duplicate index.  Simulation is deterministic, so the
+    fanned-out value equals what a per-point run would have produced (a
+    determinism test pins this); duplicate labels share one value *object*.
+
+    ``cache`` consults a :class:`~repro.run.cache.ScenarioCache` before
+    simulating: hits rehydrate the stored columnar payload, misses simulate
+    in the workers, and the parent stores each new entry.  With a cache the
+    collector runs in the *parent* on a
+    :class:`~repro.run.cache.CachedSessionResult` for hits and misses
+    alike, so it must only read the data surface (``trace``, ``qoe()``,
+    ``calls``, ``diagnosis``) — true of every module-level collector here —
+    and need not be picklable.
     """
-    tasks = [(spec, collect) for spec in specs]
-    if executor is not None:
-        values = executor.map(_run_one, tasks, chunksize=chunksize)
+    if cache is None and not dedup:
+        tasks = [(spec, collect) for spec in specs]
+        values = _map_tasks(_run_one, tasks, jobs, executor, chunksize)
+        return [
+            BatchRun(label=spec.label, value=value)
+            for spec, value in zip(specs, values)
+        ]
+
+    # In-flight dedup: one fingerprint per spec, first occurrence wins.
+    keys = [scenario_fingerprint(spec.config) for spec in specs]
+    first_index: Dict[str, int] = {}
+    for i, key in enumerate(keys):
+        if dedup:
+            first_index.setdefault(key, i)
+        else:  # cache without dedup: every index runs (or hits) on its own
+            first_index[f"{key}#{i}"] = i
+    if not dedup:
+        keys = [f"{key}#{i}" for i, key in enumerate(keys)]
+
+    values_by_key: Dict[str, Any] = {}
+    if cache is None:
+        unique_tasks = [(specs[i], collect) for i in first_index.values()]
+        values = _map_tasks(_run_one, unique_tasks, jobs, executor, chunksize)
+        values_by_key = dict(zip(first_index, values))
     else:
-        if jobs is None:
-            jobs = os.cpu_count() or 1
-        jobs = max(1, min(jobs, len(specs) or 1))
-        if jobs == 1:
-            values = [_run_one(task) for task in tasks]
-        else:
-            if chunksize is None:
-                chunksize = _adaptive_chunksize(len(tasks), jobs)
-            with ProcessPoolExecutor(max_workers=jobs) as pool:
-                # Executor.map preserves input order regardless of
-                # completion order, which is what keeps batches drop-in
-                # for serial loops.
-                values = list(pool.map(_run_one, tasks, chunksize=chunksize))
+        miss_keys: List[str] = []
+        for key, i in first_index.items():
+            blobs = cache.get(key.split("#")[0])
+            if blobs is None:
+                miss_keys.append(key)
+            else:
+                values_by_key[key] = collect(
+                    rehydrate_result(specs[i].config, *blobs)
+                )
+        miss_configs = [specs[first_index[key]].config for key in miss_keys]
+        entries = _map_tasks(
+            _run_cache_entry, miss_configs, jobs, executor, chunksize
+        )
+        for key, config, (payload, summary) in zip(
+            miss_keys, miss_configs, entries
+        ):
+            cache.put(key.split("#")[0], payload, summary)
+            values_by_key[key] = collect(
+                rehydrate_result(config, payload, summary)
+            )
+        cache.save()
     return [
-        BatchRun(label=spec.label, value=value)
-        for spec, value in zip(specs, values)
+        BatchRun(label=spec.label, value=values_by_key[key])
+        for spec, key in zip(specs, keys)
     ]
 
 
@@ -284,6 +392,8 @@ def run_batch_traces(
     transport: str = "payload",
     executor: Optional[BatchExecutor] = None,
     chunksize: Optional[int] = None,
+    cache: Optional[ScenarioCache] = None,
+    dedup: bool = True,
 ) -> List[BatchRun]:
     """Run a sweep collecting the *full trace* of every session.
 
@@ -294,6 +404,10 @@ def run_batch_traces(
     ``"shm"`` moves the same blob through ``multiprocessing.shared_memory``
     (only a name crosses the result pipe); ``"pickle"`` is the legacy
     record-graph transport.
+
+    With a ``cache``, the stored entry *is* the columnar payload, so the
+    ``transport`` choice is moot: hits decode straight from the store,
+    misses ship payloads as usual and are stored by the parent.
     """
     from ..trace.columnar import trace_from_payload
 
@@ -301,16 +415,35 @@ def run_batch_traces(
         raise ValueError(
             f"unknown transport {transport!r}; choose from {TRACE_TRANSPORTS}"
         )
+    if cache is not None:
+        return run_batch(
+            specs, collect_trace, jobs, executor=executor,
+            chunksize=chunksize, cache=cache, dedup=dedup,
+        )
     if transport == "pickle":
         return run_batch(
-            specs, collect_trace, jobs, executor=executor, chunksize=chunksize
+            specs, collect_trace, jobs, executor=executor,
+            chunksize=chunksize, dedup=dedup,
         )
     collect = collect_trace_shm if transport == "shm" else collect_trace_payload
-    runs = run_batch(specs, collect, jobs, executor=executor, chunksize=chunksize)
+    runs = run_batch(
+        specs, collect, jobs, executor=executor, chunksize=chunksize,
+        dedup=dedup,
+    )
     out: List[BatchRun] = []
+    # Deduped batches fan one value object out to every duplicate index;
+    # decode (and for shm, read-and-unlink) each distinct value once.
+    decoded: Dict[int, Trace] = {}
     for run in runs:
-        payload = load_shared_payload(run.value) if transport == "shm" else run.value
-        out.append(BatchRun(label=run.label, value=trace_from_payload(payload)))
+        ref = id(run.value)
+        if ref not in decoded:
+            payload = (
+                load_shared_payload(run.value)
+                if transport == "shm"
+                else run.value
+            )
+            decoded[ref] = trace_from_payload(payload)
+        out.append(BatchRun(label=run.label, value=decoded[ref]))
     return out
 
 

@@ -1,0 +1,56 @@
+"""ATH011 fixture: scenarios mutated after a run entry point sealed them."""
+
+from repro.run import RunSpec, run_batch, run_session
+from repro.run.scenario import CallSpec, ScenarioConfig
+
+
+def reuse_after_run():
+    config = ScenarioConfig(duration_s=1.0)
+    baseline = run_session(config)
+    config.seed = 8  # BAD: fingerprint recorded on the line above
+    return baseline, run_session(config)
+
+
+def loop_mutation(seeds):
+    config = ScenarioConfig(duration_s=1.0)
+    results = []
+    for seed in seeds:
+        config.seed = seed  # BAD: same object re-sealed every iteration
+        results.append(run_session(config))
+    return results
+
+
+def nested_list_mutation():
+    config = ScenarioConfig(duration_s=1.0, calls=[CallSpec(call_id=0)])
+    run_batch([RunSpec("a", config)])
+    config.calls.append(CallSpec(call_id=1))  # BAD: in-place container edit
+    return config
+
+
+def nested_spec_mutation():
+    spec = CallSpec(call_id=0)
+    config = ScenarioConfig(duration_s=1.0, calls=[spec])
+    run_session(config)
+    spec.start_media = False  # BAD: CallSpec reachable from the fingerprint
+    return config
+
+
+def fresh_config_per_variant(seeds):
+    results = []
+    for seed in seeds:
+        config = ScenarioConfig(duration_s=1.0, seed=seed)  # OK: new object
+        results.append(run_session(config))
+    return results
+
+
+def mutate_before_run():
+    config = ScenarioConfig(duration_s=1.0)
+    config.seed = 9  # OK: not sealed yet
+    return run_session(config)
+
+
+def rebind_is_fine():
+    config = ScenarioConfig(duration_s=1.0)
+    run_session(config)
+    config = ScenarioConfig(duration_s=1.0, seed=8)  # OK: fresh object
+    return run_session(config)

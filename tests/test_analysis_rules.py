@@ -23,6 +23,7 @@ EXPECTED = {
     "bad_ath008.py": ("ATH008", (6, 8)),
     "bad_ath009.py": ("ATH009", (5, 9, 14)),
     "bad_ath010.py": ("ATH010", (10, 14, 19)),
+    "bad_ath011.py": ("ATH011", (10, 18, 26, 34)),
 }
 
 
@@ -333,6 +334,71 @@ class TestSuppression:
             "  # athena-lint: disable=ATH001, ATH002\n"
         )
         assert lint_source(src, rule_ids=["ATH001", "ATH002"]) == []
+
+
+class TestConfigMutation:
+    def test_loop_mutation_caught_regardless_of_order(self):
+        src = (
+            "from repro.run import run_session\n"
+            "def f(cfg, seeds):\n"
+            "    for s in seeds:\n"
+            "        cfg.seed = s\n"
+            "        run_session(cfg)\n"
+        )
+        results = lint_source(src, rule_ids=["ATH011"])
+        assert [(f.rule_id, f.line) for f, _ in results] == [("ATH011", 4)]
+
+    def test_rebinding_clears_tracking(self):
+        src = (
+            "from repro.run import run_session\n"
+            "def f(make):\n"
+            "    cfg = make()\n"
+            "    run_session(cfg)\n"
+            "    cfg = make()\n"
+            "    cfg.seed = 3\n"
+            "    return run_session(cfg)\n"
+        )
+        assert lint_source(src, rule_ids=["ATH011"]) == []
+
+    def test_replace_copy_is_not_sealed(self):
+        src = (
+            "from dataclasses import replace\n"
+            "from repro.run import run_session\n"
+            "def f(cfg):\n"
+            "    run_session(replace(cfg, seed=8))\n"
+            "    cfg.seed = 9\n"
+            "    return run_session(cfg)\n"
+        )
+        assert lint_source(src, rule_ids=["ATH011"]) == []
+
+    def test_spec_list_argument_sealed(self):
+        src = (
+            "from repro.run import RunSpec, run_batch\n"
+            "def f(cfg):\n"
+            "    run_batch([RunSpec('a', cfg)])\n"
+            "    cfg.calls.append(1)\n"
+        )
+        results = lint_source(src, rule_ids=["ATH011"])
+        assert [(f.rule_id, f.line) for f, _ in results] == [("ATH011", 4)]
+
+    def test_nested_subscript_assignment_flagged(self):
+        src = (
+            "from repro.run import run_session\n"
+            "def f(cfg):\n"
+            "    run_session(cfg)\n"
+            "    cfg.calls[0].start_media = False\n"
+        )
+        results = lint_source(src, rule_ids=["ATH011"])
+        assert [(f.rule_id, f.line) for f, _ in results] == [("ATH011", 4)]
+
+    def test_mutation_before_first_run_is_fine(self):
+        src = (
+            "from repro.run import run_session\n"
+            "def f(cfg):\n"
+            "    cfg.seed = 9\n"
+            "    return run_session(cfg)\n"
+        )
+        assert lint_source(src, rule_ids=["ATH011"]) == []
 
 
 def test_syntax_error_reported_as_finding():

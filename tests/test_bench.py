@@ -81,12 +81,14 @@ def test_run_bench_writes_json_payload(tmp_path):
     assert set(on_disk["results"]) == {
         "event_loop", "full_stack_1s", "idle_heavy_60s", "fig7",
         "streaming_analysis", "multicall", "trace_emit", "sweep_transport",
+        "scenario_cache",
     }
     for key in ("full_stack_1s", "idle_heavy_60s", "trace_emit",
-                "sweep_transport"):
+                "sweep_transport", "scenario_cache"):
         entry = on_disk["results"][key]
         assert {"speedup", "min_speedup", "pass"} <= set(entry)
     assert on_disk["results"]["trace_emit"]["bytes_identical"] is True
+    assert on_disk["results"]["scenario_cache"]["bytes_identical"] is True
     stream = on_disk["results"]["streaming_analysis"]
     assert {"peak_ratio", "max_peak_ratio", "records_per_s", "pass"} <= set(stream)
     multi = on_disk["results"]["multicall"]

@@ -105,6 +105,80 @@ class TestAdaptiveChunksize:
         assert _adaptive_chunksize(0, jobs=2) == 1
 
 
+class TestInFlightDedup:
+    def _dup_specs(self):
+        # Three distinct points, each appearing twice under its own label.
+        singles = _specs(3)
+        return [
+            RunSpec(label=f"{s.label}/{copy}", config=s.config)
+            for s in singles
+            for copy in ("x", "y")
+        ]
+
+    def test_fanout_matches_per_point_runs(self):
+        specs = self._dup_specs()
+        deduped = run_batch(specs, collect=collect_summary, jobs=2)
+        independent = run_batch(
+            specs, collect=collect_summary, jobs=2, dedup=False
+        )
+        assert [r.label for r in deduped] == [s.label for s in specs]
+        assert [r.value for r in deduped] == [r.value for r in independent]
+
+    def test_duplicates_share_one_collected_value(self):
+        runs = run_batch(self._dup_specs(), collect=collect_summary, jobs=2)
+        # Pairs fan out the same object: the point was simulated once.
+        for x, y in zip(runs[::2], runs[1::2]):
+            assert x.value is y.value
+
+    def test_dedup_off_simulates_per_spec(self):
+        runs = run_batch(
+            self._dup_specs(), collect=collect_summary, jobs=2, dedup=False
+        )
+        for x, y in zip(runs[::2], runs[1::2]):
+            assert x.value is not y.value
+            assert x.value == y.value
+
+    def test_trace_batches_dedup_deterministically(self):
+        specs = self._dup_specs()
+        deduped = run_batch_traces(specs, jobs=2)
+        independent = run_batch_traces(specs, jobs=2, dedup=False)
+        for a, b in zip(deduped, independent):
+            assert a.label == b.label
+            assert list(a.value.packets) == list(b.value.packets)
+            assert list(a.value.frames) == list(b.value.frames)
+
+
+class TestExecutorLifecycle:
+    def test_pool_shut_down_when_collect_raises(self):
+        ex = BatchExecutor(jobs=2)
+        with pytest.raises(RuntimeError, match="collector failure"):
+            run_batch(_specs(2), collect=_boom, executor=ex)
+        assert ex._pool is None  # map's error path reaped the pool
+
+    def test_map_error_closes_warm_pool(self):
+        ex = BatchExecutor(jobs=2)
+        ex.map(_square, [1, 2, 3])
+        assert ex._pool is not None
+        with pytest.raises(TypeError):
+            ex.map(_square, [1, "two", 3])
+        assert ex._pool is None  # error path must not leak the pool
+
+    def test_close_is_idempotent(self):
+        ex = BatchExecutor(jobs=2)
+        ex.map(_square, [1])
+        ex.close()
+        ex.close()
+        assert ex._pool is None
+
+
+def _square(x):
+    return x * x
+
+
+def _boom(result):
+    raise RuntimeError("collector failure")
+
+
 class TestBatchExecutor:
     def test_reuse_across_phases(self):
         specs = _specs(2)

@@ -1,0 +1,298 @@
+"""Content-addressed scenario result cache (repro.run.cache).
+
+The correctness oracle throughout is byte-identity: a cache hit must be
+indistinguishable — down to serialized JSONL bytes — from re-running the
+simulation.  Everything else (fingerprint stability, corruption recovery,
+LRU eviction) protects that property or bounds the store.
+"""
+
+from __future__ import annotations
+
+import filecmp
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.run import RunSpec, ScenarioCache, run_batch, run_session
+from repro.run.batch import collect_qoe, run_batch_traces, sweep_grid
+from repro.run.cache import (
+    canonical_scenario,
+    code_version_token,
+    scenario_fingerprint,
+    scenario_key,
+)
+from repro.run.scenario import CallSpec, ScenarioConfig
+from repro.trace import save_trace
+
+SRC_DIR = Path(__file__).resolve().parent.parent / "src"
+
+
+def _config(**overrides) -> ScenarioConfig:
+    defaults = dict(duration_s=0.4, seed=7, record_tbs=False)
+    defaults.update(overrides)
+    return ScenarioConfig(**defaults)
+
+
+# ---------------------------------------------------------------------------
+# fingerprints
+
+
+class TestFingerprint:
+    def test_stable_within_process(self):
+        a = scenario_fingerprint(_config())
+        b = scenario_fingerprint(_config())
+        assert a == b
+
+    def test_stable_across_interpreter_restarts(self):
+        script = (
+            "from repro.run.cache import scenario_fingerprint\n"
+            "from repro.run.scenario import ScenarioConfig\n"
+            "print(scenario_fingerprint("
+            "ScenarioConfig(duration_s=0.4, seed=7, record_tbs=False)))\n"
+        )
+        env = dict(os.environ, PYTHONPATH=str(SRC_DIR), PYTHONHASHSEED="")
+        outs = set()
+        for seed in ("0", "1"):  # different hash randomization per run
+            env["PYTHONHASHSEED"] = seed
+            outs.add(
+                subprocess.run(
+                    [sys.executable, "-c", script],
+                    check=True, capture_output=True, text=True, env=env,
+                ).stdout.strip()
+            )
+        assert len(outs) == 1
+        assert outs == {scenario_fingerprint(_config())}
+
+    def test_semantic_fields_change_the_key(self):
+        base = scenario_fingerprint(_config())
+        assert scenario_fingerprint(_config(seed=8)) != base
+        assert scenario_fingerprint(_config(access="emulated")) != base
+        assert scenario_fingerprint(_config(live_analysis=True)) != base
+
+    def test_trace_backend_is_not_semantic(self):
+        # PR 9 pins columnar and in-memory backends trace-byte-identical,
+        # so both backends must share one cache entry.
+        a = scenario_fingerprint(_config(trace_backend="memory"))
+        b = scenario_fingerprint(_config(trace_backend="columnar"))
+        assert a == b
+
+    def test_legacy_and_single_call_modes_differ(self):
+        # calls=None (legacy RNG stream names) vs an explicit one-call
+        # list run different RNG streams; they must never share a key.
+        legacy = scenario_fingerprint(_config(calls=None))
+        single = scenario_fingerprint(_config(calls=[CallSpec(call_id=0)]))
+        assert legacy != single
+
+    def test_call_overrides_resolved_into_key(self):
+        inherit = _config(calls=[CallSpec(call_id=0)], jitter_buffer_margin_ms=12.0)
+        explicit = _config(
+            calls=[CallSpec(call_id=0, jitter_buffer_margin_ms=12.0)],
+            jitter_buffer_margin_ms=12.0,
+        )
+        # The override equals the inherited value: same resolved scenario.
+        assert scenario_key(inherit) == scenario_key(explicit)
+
+    def test_salt_bump_invalidates(self):
+        config = _config()
+        assert scenario_fingerprint(config) == scenario_fingerprint(
+            config, salt=code_version_token()
+        )
+        assert scenario_fingerprint(config) != scenario_fingerprint(
+            config, salt="2.0.0+deadbeefdeadbeef"
+        )
+
+    def test_canonical_form_is_json_stable(self):
+        canon = canonical_scenario(_config(calls=[CallSpec(call_id=0)]))
+        dumped = json.dumps(canon, sort_keys=True)
+        assert json.loads(dumped) == json.loads(json.dumps(canon, sort_keys=True))
+
+
+# ---------------------------------------------------------------------------
+# store behaviour
+
+
+class TestStore:
+    def test_roundtrip_and_stats(self, tmp_path):
+        cache = ScenarioCache(cache_dir=tmp_path / "c")
+        config = _config()
+        assert cache.get_result(config) is None
+        assert cache.misses == 1
+        result = run_session(config)
+        cache.put_result(config, result)
+        hit = cache.get_result(config)
+        assert hit is not None
+        assert cache.hits == 1
+        assert hit.qoe().medians() == result.qoe().medians()
+        stats = cache.stats()
+        assert stats["entries"] == 1
+        assert stats["total_bytes"] > 0
+        assert stats["salt"] == code_version_token()
+
+    def test_hit_jsonl_byte_identical_to_fresh_run(self, tmp_path):
+        cache = ScenarioCache(cache_dir=tmp_path / "c")
+        for seed in (7, 8):
+            for access in ("5g", "emulated"):
+                config = _config(seed=seed, access=access)
+                cache.put_result(config, run_session(config))
+                hit = cache.get_result(config)
+                fresh_path = tmp_path / "fresh.jsonl"
+                hit_path = tmp_path / "hit.jsonl"
+                save_trace(run_session(config).trace, str(fresh_path))
+                save_trace(hit.trace, str(hit_path))
+                assert filecmp.cmp(fresh_path, hit_path, shallow=False), (
+                    f"cache hit diverged for seed={seed} access={access}"
+                )
+
+    def test_index_survives_reopen(self, tmp_path):
+        config = _config()
+        cache = ScenarioCache(cache_dir=tmp_path / "c")
+        cache.put_result(config, run_session(config))
+        reopened = ScenarioCache(cache_dir=tmp_path / "c")
+        assert len(reopened) == 1
+        assert reopened.get_result(config) is not None
+        assert reopened.hits == 1
+
+    def test_stale_salt_clears_store(self, tmp_path):
+        config = _config()
+        cache = ScenarioCache(cache_dir=tmp_path / "c")
+        cache.put_result(config, run_session(config))
+        index = json.loads(cache.index_path.read_text(encoding="utf-8"))
+        index["salt"] = "0.0.0+0000000000000000"
+        cache.index_path.write_text(json.dumps(index), encoding="utf-8")
+        reopened = ScenarioCache(cache_dir=tmp_path / "c")
+        assert len(reopened) == 0
+        assert reopened.get_result(config) is None
+
+    def test_corrupted_entry_is_a_miss_then_heals(self, tmp_path):
+        config = _config()
+        cache = ScenarioCache(cache_dir=tmp_path / "c")
+        result = run_session(config)
+        cache.put_result(config, result)
+        key = scenario_fingerprint(config)
+        entry_path = cache._entry_path(key)
+        raw = entry_path.read_bytes()
+        entry_path.write_bytes(raw[: len(raw) // 2])  # truncate mid-payload
+        assert cache.get_result(config) is None  # corrupt -> miss
+        assert cache.misses == 1
+        assert len(cache) == 0  # dropped, not retried forever
+        cache.put_result(config, result)  # re-simulated result re-stores
+        assert cache.get_result(config) is not None
+
+    def test_garbage_magic_is_a_miss(self, tmp_path):
+        config = _config()
+        cache = ScenarioCache(cache_dir=tmp_path / "c")
+        cache.put_result(config, run_session(config))
+        cache._entry_path(scenario_fingerprint(config)).write_bytes(
+            b"not a cache entry"
+        )
+        assert cache.get_result(config) is None
+
+    def test_lru_eviction_under_small_cap(self, tmp_path):
+        entry = b"x" * 100
+        cache = ScenarioCache(cache_dir=tmp_path / "c", max_bytes=400)
+        keys = [f"{i:02d}" + "0" * 62 for i in range(3)]
+        for key in keys:
+            cache.put(key, entry, entry)
+        assert len(cache) == 1  # each entry ~222 bytes; cap keeps one
+        assert cache.evictions == 2
+        assert cache.get(keys[-1]) is not None  # newest survived
+        assert cache.get(keys[0]) is None
+
+    def test_lru_prefers_recently_hit(self, tmp_path):
+        entry = b"x" * 30
+        cache = ScenarioCache(cache_dir=tmp_path / "c", max_bytes=200)
+        a, b = "aa" + "0" * 62, "bb" + "0" * 62
+        cache.put(a, entry, entry)
+        cache.put(b, entry, entry)
+        assert len(cache) == 2
+        assert cache.get(a) is not None  # touch a: b becomes LRU
+        cache.put("cc" + "0" * 62, entry, entry)  # overflows the cap
+        assert cache.get(a) is not None
+        assert cache.get(b) is None
+
+    def test_clear_reports_removed(self, tmp_path):
+        cache = ScenarioCache(cache_dir=tmp_path / "c")
+        cache.put("dd" + "0" * 62, b"p", b"s")
+        assert cache.clear() == 1
+        assert len(cache) == 0
+        assert cache.total_bytes == 0
+
+
+# ---------------------------------------------------------------------------
+# batch wiring
+
+
+class TestBatchWiring:
+    def _specs(self):
+        return [
+            RunSpec("a", _config(seed=7)),
+            RunSpec("b", _config(seed=8)),
+            RunSpec("a2", _config(seed=7)),  # duplicate of "a"
+        ]
+
+    def test_cold_then_warm(self, tmp_path):
+        cache = ScenarioCache(cache_dir=tmp_path / "c")
+        cold = run_batch(self._specs(), collect=collect_qoe, jobs=2, cache=cache)
+        assert cache.misses == 2 and cache.hits == 0  # in-flight dedup
+        assert len(cache) == 2
+        warm_cache = ScenarioCache(cache_dir=tmp_path / "c")
+        warm = run_batch(
+            self._specs(), collect=collect_qoe, jobs=2, cache=warm_cache
+        )
+        assert warm_cache.hits == 2 and warm_cache.misses == 0
+        assert [r.value.medians() for r in cold] == [
+            r.value.medians() for r in warm
+        ]
+        assert [r.label for r in warm] == ["a", "b", "a2"]
+
+    def test_partial_hit_batch(self, tmp_path):
+        cache = ScenarioCache(cache_dir=tmp_path / "c")
+        run_batch([RunSpec("a", _config(seed=7))], collect=collect_qoe,
+                  jobs=1, cache=cache)
+        cache2 = ScenarioCache(cache_dir=tmp_path / "c")
+        runs = run_batch(self._specs(), collect=collect_qoe, jobs=2,
+                         cache=cache2)
+        assert cache2.hits == 1 and cache2.misses == 1
+        assert len(runs) == 3
+
+    def test_cached_traces_match_uncached(self, tmp_path):
+        specs = sweep_grid(
+            _config(), [7, 8], {"5g": {"access": "5g"}}
+        )
+        plain = run_batch_traces(specs, jobs=2)
+        cache = ScenarioCache(cache_dir=tmp_path / "c")
+        run_batch_traces(specs, jobs=2, cache=cache)  # populate
+        cached = run_batch_traces(specs, jobs=2, cache=cache)
+        assert cache.hits == len(specs)
+        for a, b in zip(plain, cached):
+            pa = tmp_path / "a.jsonl"
+            pb = tmp_path / "b.jsonl"
+            save_trace(a.value, str(pa))
+            save_trace(b.value, str(pb))
+            assert filecmp.cmp(pa, pb, shallow=False)
+
+    def test_collector_runs_identically_for_hits_and_misses(self, tmp_path):
+        seen = []
+
+        def probe(result):
+            seen.append(type(result).__name__)
+            return result.qoe().medians()
+
+        cache = ScenarioCache(cache_dir=tmp_path / "c")
+        config = _config()
+        miss = run_batch([RunSpec("x", config)], collect=probe, jobs=1,
+                         cache=cache)
+        hit = run_batch([RunSpec("x", config)], collect=probe, jobs=1,
+                        cache=cache)
+        # Hits AND misses rehydrate through the same CachedSessionResult
+        # path, so collector output is identical by construction.
+        assert seen == ["CachedSessionResult", "CachedSessionResult"]
+        assert miss[0].value == hit[0].value
+
+
+if __name__ == "__main__":
+    sys.exit(pytest.main([__file__, "-v"]))
